@@ -1,0 +1,175 @@
+//! The BTI power-law drift kernel.
+
+use serde::{Deserialize, Serialize};
+use sramcell::TechnologyProfile;
+
+/// Bias-temperature-instability drift law: cumulative threshold drift after
+/// `τ` years of effective stress is `g(τ) = prefactor · τ^exponent`
+/// (noise-sigma units).
+///
+/// The increment of `g` between two stress ages drives the per-cell mismatch
+/// update in [`AgingSimulator`](crate::AgingSimulator) and the analytic
+/// trajectories in [`analytic_series`](crate::analytic_series).
+///
+/// # Examples
+///
+/// ```
+/// use sramaging::BtiModel;
+///
+/// let bti = BtiModel::new(0.6, 0.2);
+/// // Power-law kinetics: the first month moves more than the 24th.
+/// let first = bti.drift_increment(0.0, 1.0 / 12.0);
+/// let last = bti.drift_increment(23.0 / 12.0, 2.0);
+/// assert!(first > 5.0 * last);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BtiModel {
+    /// Drift prefactor `A` in noise-sigma units per `year^n`.
+    pub prefactor: f64,
+    /// Power-law exponent `n` (reaction–diffusion NBTI: 0.1–0.3).
+    pub exponent: f64,
+    /// Ratio `beta` of the data-independent drift component (PBTI,
+    /// process-dependent BTI sensitivity; direction given by each cell's
+    /// static [`drift_bias`](sramcell::Cell::drift_bias)) to the
+    /// state-dependent NBTI component. Zero recovers the pure
+    /// toward-balance model.
+    pub bias_ratio: f64,
+}
+
+impl BtiModel {
+    /// Creates a drift law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefactor < 0` or `exponent` is outside `(0, 1]`.
+    pub fn new(prefactor: f64, exponent: f64) -> Self {
+        Self::with_bias_ratio(prefactor, exponent, 0.0)
+    }
+
+    /// Creates a drift law with a data-independent component of relative
+    /// strength `bias_ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefactor < 0`, `exponent` is outside `(0, 1]`, or
+    /// `bias_ratio < 0`.
+    pub fn with_bias_ratio(prefactor: f64, exponent: f64, bias_ratio: f64) -> Self {
+        assert!(
+            prefactor >= 0.0 && prefactor.is_finite(),
+            "BTI prefactor must be non-negative, got {prefactor}"
+        );
+        assert!(
+            exponent > 0.0 && exponent <= 1.0,
+            "BTI exponent must be in (0, 1], got {exponent}"
+        );
+        assert!(
+            bias_ratio >= 0.0 && bias_ratio.is_finite(),
+            "BTI bias ratio must be non-negative, got {bias_ratio}"
+        );
+        Self {
+            prefactor,
+            exponent,
+            bias_ratio,
+        }
+    }
+
+    /// Extracts the drift law of a technology profile.
+    pub fn from_profile(profile: &TechnologyProfile) -> Self {
+        Self::with_bias_ratio(
+            profile.bti_prefactor,
+            profile.bti_exponent,
+            profile.bti_bias_ratio,
+        )
+    }
+
+    /// Cumulative drift `g(τ)` after `tau_years` of effective stress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau_years < 0`.
+    pub fn cumulative_drift(&self, tau_years: f64) -> f64 {
+        assert!(tau_years >= 0.0, "stress age must be non-negative");
+        self.prefactor * tau_years.powf(self.exponent)
+    }
+
+    /// Drift increment `g(tau1) − g(tau0)` between two stress ages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau0 > tau1` or either is negative.
+    pub fn drift_increment(&self, tau0: f64, tau1: f64) -> f64 {
+        assert!(
+            0.0 <= tau0 && tau0 <= tau1,
+            "invalid stress interval [{tau0}, {tau1}]"
+        );
+        self.cumulative_drift(tau1) - self.cumulative_drift(tau0)
+    }
+
+    /// A drift law with zero magnitude (useful as an experimental control).
+    pub fn disabled() -> Self {
+        Self::new(0.0, 0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_drift_is_power_law() {
+        let bti = BtiModel::new(2.0, 0.5);
+        assert_eq!(bti.cumulative_drift(0.0), 0.0);
+        assert!((bti.cumulative_drift(4.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn increments_telescope() {
+        let bti = BtiModel::new(1.3, 0.2);
+        let total = bti.drift_increment(0.0, 2.0);
+        let split: f64 = (0..24)
+            .map(|i| bti.drift_increment(i as f64 / 12.0, (i + 1) as f64 / 12.0))
+            .sum();
+        assert!((total - split).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_life_dominates() {
+        let bti = BtiModel::new(1.0, 0.2);
+        let year1 = bti.drift_increment(0.0, 1.0);
+        let year2 = bti.drift_increment(1.0, 2.0);
+        assert!(year1 > 4.0 * year2);
+    }
+
+    #[test]
+    fn disabled_law_never_moves() {
+        let bti = BtiModel::disabled();
+        assert_eq!(bti.drift_increment(0.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn from_profile_copies_parameters() {
+        let p = TechnologyProfile::atmega32u4();
+        let bti = BtiModel::from_profile(&p);
+        assert_eq!(bti.prefactor, p.bti_prefactor);
+        assert_eq!(bti.exponent, p.bti_exponent);
+        assert_eq!(bti.bias_ratio, p.bti_bias_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias ratio")]
+    fn negative_bias_ratio_rejected() {
+        BtiModel::with_bias_ratio(1.0, 0.2, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn zero_exponent_rejected() {
+        BtiModel::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stress interval")]
+    fn reversed_interval_rejected() {
+        BtiModel::new(1.0, 0.2).drift_increment(2.0, 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based invariants of the aging model.
+
+use proptest::prelude::*;
+use sramaging::{analytic_series, AgingSimulator, BtiModel, StressConditions};
+use sramcell::{Cell, SramArray, TechnologyProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn drift_increments_telescope(prefactor in 0.01f64..5.0, exponent in 0.05f64..0.9, t in 0.1f64..5.0, split in 0.01f64..0.99) {
+        let bti = BtiModel::new(prefactor, exponent);
+        let mid = t * split;
+        let whole = bti.drift_increment(0.0, t);
+        let parts = bti.drift_increment(0.0, mid) + bti.drift_increment(mid, t);
+        prop_assert!((whole - parts).abs() < 1e-10);
+    }
+
+    #[test]
+    fn aging_never_increases_skew_without_crossing(m0 in 0.5f64..20.0, years in 0.1f64..4.0) {
+        // A positively skewed cell drifts monotonically toward zero and
+        // never crosses (expected-duty model).
+        let profile = TechnologyProfile::atmega32u4();
+        let mut sram = SramArray::from_cells(&profile, vec![Cell::new(m0)]);
+        let mut sim = AgingSimulator::new(&profile, StressConditions::always_on(&profile));
+        sim.advance(&mut sram, years, 64);
+        let m = sram.cells()[0].mismatch();
+        prop_assert!(m <= m0 + 1e-12, "skew grew: {m0} → {m}");
+        prop_assert!(m >= -1e-9, "crossed zero: {m0} → {m}");
+    }
+
+    #[test]
+    fn aging_preserves_sign_symmetry(m0 in 0.0f64..20.0, years in 0.1f64..3.0) {
+        let profile = TechnologyProfile::atmega32u4();
+        let mut sram = SramArray::from_cells(&profile, vec![Cell::new(m0), Cell::new(-m0)]);
+        let mut sim = AgingSimulator::new(&profile, StressConditions::paper_campaign(&profile));
+        sim.advance(&mut sram, years, 32);
+        let a = sram.cells()[0].mismatch();
+        let b = sram.cells()[1].mismatch();
+        prop_assert!((a + b).abs() < 1e-9, "asymmetric drift: {a} vs {b}");
+    }
+
+    #[test]
+    fn wchd_series_is_nondecreasing(stress_rate in 0.0f64..4.0) {
+        let profile = TechnologyProfile::atmega32u4();
+        let series = analytic_series(
+            &profile.population,
+            BtiModel::from_profile(&profile),
+            stress_rate,
+            6,
+            200,
+        );
+        for w in series.windows(2) {
+            prop_assert!(w[1].wchd >= w[0].wchd - 1e-9, "wchd dipped at month {}", w[1].month);
+            prop_assert!(w[1].noise_entropy >= w[0].noise_entropy - 1e-9);
+            prop_assert!(w[1].stable_ratio <= w[0].stable_ratio + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stronger_stress_ages_at_least_as_fast(r1 in 0.0f64..2.0, r2 in 2.0f64..8.0) {
+        let profile = TechnologyProfile::atmega32u4();
+        let bti = BtiModel::from_profile(&profile);
+        let slow = analytic_series(&profile.population, bti, r1, 4, 200);
+        let fast = analytic_series(&profile.population, bti, r2, 4, 200);
+        prop_assert!(fast[4].wchd >= slow[4].wchd - 1e-9);
+    }
+
+    #[test]
+    fn simulator_split_is_deterministic(seed in 0u64..500, years in 0.2f64..2.0) {
+        use rand::SeedableRng;
+        let profile = TechnologyProfile::atmega32u4();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fresh = SramArray::generate(&profile, 64, &mut rng);
+        let cond = StressConditions::paper_campaign(&profile);
+
+        let mut once = fresh.clone();
+        let mut sim1 = AgingSimulator::new(&profile, cond);
+        sim1.advance(&mut once, years, 40);
+
+        let mut twice = fresh;
+        let mut sim2 = AgingSimulator::new(&profile, cond);
+        sim2.advance(&mut twice, years / 2.0, 20);
+        sim2.advance(&mut twice, years / 2.0, 20);
+
+        for (a, b) in once.cells().iter().zip(twice.cells()) {
+            prop_assert!((a.mismatch() - b.mismatch()).abs() < 1e-10);
+        }
+    }
+}

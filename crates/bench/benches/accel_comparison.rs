@@ -1,0 +1,27 @@
+//! The §IV-D/§V nominal-vs-accelerated comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sramaging::accelerated::{accelerated_study, comparison, nominal_study};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel");
+    group.sample_size(10);
+
+    group.bench_function("nominal_study_24mo", |b| {
+        b.iter(|| black_box(nominal_study(24)));
+    });
+
+    group.bench_function("accelerated_study_24mo", |b| {
+        b.iter(|| black_box(accelerated_study(24)));
+    });
+
+    group.bench_function("full_comparison_24mo", |b| {
+        b.iter(|| black_box(comparison(24)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

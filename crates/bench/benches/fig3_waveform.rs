@@ -1,0 +1,35 @@
+//! Fig. 3 — power-cycle waveform generation and the Algorithm-1 schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puftestbed::schedule::{two_layer_schedule, HandshakeMachine};
+use puftestbed::PowerWaveform;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+
+    group.bench_function("waveform_trace_1min", |b| {
+        let w = PowerWaveform::paper_layer(0);
+        b.iter(|| black_box(w.trace(0.0, 60.0, 0.01)));
+    });
+
+    group.bench_function("two_layer_schedule_1hour", |b| {
+        // One hour of 5.4 s cycles ≈ 667 cycles × 2 layers.
+        b.iter(|| black_box(two_layer_schedule(667)));
+    });
+
+    group.bench_function("handshake_machine_10k_steps", |b| {
+        b.iter(|| {
+            let mut hs = HandshakeMachine::new();
+            for _ in 0..10_000 {
+                black_box(hs.step());
+            }
+            hs
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 4 — capturing and rasterizing a 1 KB start-up pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pufassess::visualize::{ascii_raster, pgm_image};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sramcell::{Environment, SramArray, TechnologyProfile};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    let profile = TechnologyProfile::atmega32u4();
+    let mut rng = StdRng::seed_from_u64(4);
+    let sram = SramArray::generate(&profile, 8 * 1024, &mut rng);
+    let env = Environment::nominal(&profile);
+    let pattern = sram.power_up(&env, &mut rng);
+
+    group.bench_function("power_up_8192_bits", |b| {
+        b.iter(|| black_box(sram.power_up(&env, &mut rng)));
+    });
+
+    group.bench_function("ascii_raster_8192", |b| {
+        b.iter(|| black_box(ascii_raster(&pattern, 128)));
+    });
+
+    group.bench_function("pgm_image_8192", |b| {
+        b.iter(|| black_box(pgm_image(&pattern, 128)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 5 — WCHD / BCHD / FHW histograms over device windows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pufassess::metrics::InitialQuality;
+use pufbits::BitMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sramcell::{Environment, SramArray, TechnologyProfile};
+use std::hint::black_box;
+
+fn device_windows(devices: usize, reads: usize, bits: usize) -> Vec<BitMatrix> {
+    let profile = TechnologyProfile::atmega32u4();
+    let env = Environment::nominal(&profile);
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..devices)
+        .map(|_| {
+            let sram = SramArray::generate(&profile, bits, &mut rng);
+            (0..reads).map(|_| sram.power_up(&env, &mut rng)).collect()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(20);
+
+    let windows = device_windows(16, 50, 8192);
+    group.bench_function("initial_quality_16dev_50reads_8192b", |b| {
+        b.iter(|| black_box(InitialQuality::evaluate(&windows)));
+    });
+
+    let small = device_windows(8, 20, 2048);
+    group.bench_function("initial_quality_8dev_20reads_2048b", |b| {
+        b.iter(|| black_box(InitialQuality::evaluate(&small)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Key-generation throughput: enrollment, reconstruction, and the
+//! underlying codecs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pufbits::BitVec;
+use pufkeygen::ecc::{BlockCode, Concatenated, Golay, PolarCode, Repetition};
+use pufkeygen::{sha256, KeyGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sramcell::{Environment, SramArray, TechnologyProfile};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keygen");
+
+    let profile = TechnologyProfile::atmega32u4();
+    let env = Environment::nominal(&profile);
+    let mut rng = StdRng::seed_from_u64(8);
+    let sram = SramArray::generate(&profile, 8192, &mut rng);
+    let generator = KeyGenerator::paper_default();
+    let enrollment = generator
+        .enroll(&sram.power_up(&env, &mut rng), &mut rng)
+        .expect("8 KiBit suffices");
+
+    group.bench_function("enroll_128bit_key_8192b_response", |b| {
+        let response = sram.power_up(&env, &mut rng);
+        b.iter(|| black_box(generator.enroll(&response, &mut rng).unwrap()));
+    });
+
+    group.bench_function("reconstruct_128bit_key", |b| {
+        let response = sram.power_up(&env, &mut rng);
+        b.iter(|| black_box(generator.reconstruct(&response, &enrollment.helper).unwrap()));
+    });
+
+    group.bench_function("golay_decode_3_errors", |b| {
+        let golay = Golay::new();
+        let msg = BitVec::from_bits((0..12).map(|i| i % 2 == 0));
+        let mut word = golay.encode(&msg);
+        for i in [1, 9, 20] {
+            word.set(i, !word.get(i).unwrap());
+        }
+        b.iter(|| black_box(golay.decode(&word).unwrap()));
+    });
+
+    group.bench_function("concatenated_decode_noisy_block", |b| {
+        let code = Concatenated::new(Golay::new(), Repetition::new(5).unwrap());
+        let msg = BitVec::from_bits((0..12).map(|_| rng.gen::<bool>()));
+        let mut word = code.encode(&msg);
+        for i in 0..word.len() {
+            if rng.gen::<f64>() < 0.03 {
+                word.set(i, !word.get(i).unwrap());
+            }
+        }
+        b.iter(|| black_box(code.decode(&word).unwrap()));
+    });
+
+    group.bench_function("polar_256_64_decode_noisy", |b| {
+        let code = PolarCode::new(256, 64, 0.05).expect("valid parameters");
+        let msg = BitVec::from_bits((0..64).map(|i| i % 2 == 0));
+        let mut word = code.encode(&msg);
+        for i in (0..word.len()).step_by(31) {
+            word.set(i, !word.get(i).unwrap());
+        }
+        b.iter(|| black_box(code.decode(&word).unwrap()));
+    });
+
+    group.bench_function("sha256_1kib", |b| {
+        let data = vec![0xA5u8; 1024];
+        b.iter(|| black_box(sha256::digest(&data)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table I — the end-to-end pipeline from campaign records to the
+//! condensed table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pufassess::Assessment;
+use pufbench::{run_campaign, Scale};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    // Separate the campaign (simulation) cost from the assessment
+    // (analysis) cost: the paper's pipeline is dominated by the latter once
+    // the 175 M measurements exist.
+    let dataset = run_campaign(Scale::Smoke, 7);
+    let protocol = Scale::Smoke.protocol();
+
+    group.bench_function("assessment_from_records_smoke", |b| {
+        b.iter(|| black_box(Assessment::from_dataset(&dataset, &protocol).unwrap()));
+    });
+
+    let assessment = Assessment::from_dataset(&dataset, &protocol).unwrap();
+    group.bench_function("table1_from_assessment", |b| {
+        b.iter(|| black_box(assessment.table1()));
+    });
+
+    group.bench_function("table1_render", |b| {
+        let table = assessment.table1();
+        b.iter(|| black_box(table.render()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

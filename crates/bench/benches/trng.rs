@@ -1,0 +1,47 @@
+//! TRNG throughput — including the paper's aging dividend (§IV-D2): an
+//! aged device needs fewer power-ups per output byte.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puftrng::{SramTrng, TrngConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sramaging::{AgingSimulator, StressConditions};
+use sramcell::{SramArray, TechnologyProfile};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trng");
+    group.sample_size(20);
+
+    let profile = TechnologyProfile::atmega32u4();
+    let mut rng = StdRng::seed_from_u64(9);
+    let fresh = SramArray::generate(&profile, 8192, &mut rng);
+    let mut aged = fresh.clone();
+    let mut sim = AgingSimulator::new(&profile, StressConditions::paper_campaign(&profile));
+    sim.advance(&mut aged, 2.0, 24);
+
+    group.bench_function("characterize_8192b_100_reads", |b| {
+        b.iter(|| {
+            black_box(
+                SramTrng::characterize(fresh.clone(), &TrngConfig::default(), &mut rng).unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("generate_64B_fresh_device", |b| {
+        let mut trng =
+            SramTrng::characterize(fresh.clone(), &TrngConfig::default(), &mut rng).unwrap();
+        b.iter(|| black_box(trng.generate(64, &mut rng).unwrap()));
+    });
+
+    group.bench_function("generate_64B_aged_device", |b| {
+        let mut trng =
+            SramTrng::characterize(aged.clone(), &TrngConfig::default(), &mut rng).unwrap();
+        b.iter(|| black_box(trng.generate(64, &mut rng).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Analyses a JSON-lines record file with the paper's evaluation protocol:
+//! prints Table I, the Fig. 6 development summaries, and the fitted
+//! hidden-variable model of each device.
+//!
+//! ```text
+//! assess --in records.jsonl [--reads 1000] [--eval-day 8] [--csv PREFIX]
+//! ```
+
+use pufassess::monthly::{select_windows, EvaluationProtocol};
+use pufassess::report::{self, Series};
+use pufassess::{fit, Assessment};
+use puftestbed::store::read_json_lines;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+
+fn main() {
+    let mut input: Option<String> = None;
+    let mut csv_prefix: Option<String> = None;
+    let mut protocol = EvaluationProtocol::default();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{arg} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--in" => input = Some(value().clone()),
+            "--reads" => protocol.reads_per_window = parse(value(), "--reads"),
+            "--eval-day" => protocol.eval_day = parse(value(), "--eval-day"),
+            "--csv" => csv_prefix = Some(value().clone()),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: assess --in FILE [--reads N] [--eval-day D] [--csv PREFIX]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                exit(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("--in FILE is required (try --help)");
+        exit(2);
+    };
+
+    let file = File::open(&input).unwrap_or_else(|e| {
+        eprintln!("cannot open {input}: {e}");
+        exit(1);
+    });
+    let mut skipped = 0u64;
+    let records: Vec<_> = read_json_lines(BufReader::new(file))
+        .filter_map(|r| match r {
+            Ok(record) => Some(record),
+            Err(e) => {
+                skipped += 1;
+                eprintln!("skipping malformed line: {e}");
+                None
+            }
+        })
+        .collect();
+    eprintln!("loaded {} records ({skipped} skipped)", records.len());
+
+    let assessment = Assessment::from_records(&records, &protocol).unwrap_or_else(|e| {
+        eprintln!("assessment failed: {e}");
+        exit(1);
+    });
+
+    println!("=== Table I ===\n\n{}", assessment.table1().render());
+
+    println!("=== development summaries ===\n");
+    for series in [Series::Wchd, Series::NoiseEntropy, Series::StableRatio] {
+        println!("{}", report::fig6_text(&assessment, series, 32));
+    }
+
+    println!("=== fitted hidden-variable model per device (month 0) ===\n");
+    let windows = select_windows(&records, &protocol);
+    let first_month = windows
+        .iter()
+        .map(|w| w.year_month)
+        .min()
+        .expect("non-empty assessment");
+    println!("{:<8} {:>10} {:>10} {:>12}", "device", "mu", "sigma", "pred. WCHD");
+    for window in windows.iter().filter(|w| w.year_month == first_month) {
+        match fit::fit_population(&window.counter) {
+            Ok(pop) => println!(
+                "{:<8} {:>10.3} {:>10.3} {:>11.2}%",
+                window.device.to_string(),
+                pop.mu,
+                pop.sigma,
+                pop.expected_wchd() * 100.0
+            ),
+            Err(e) => println!("{:<8} unfittable: {e}", window.device.to_string()),
+        }
+    }
+
+    if let Some(prefix) = csv_prefix {
+        let devices = format!("{prefix}_devices.csv");
+        let aggregates = format!("{prefix}_aggregates.csv");
+        std::fs::write(&devices, report::device_series_csv(&assessment))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write {devices}: {e}");
+                exit(1);
+            });
+        std::fs::write(&aggregates, report::aggregate_csv(&assessment)).unwrap_or_else(|e| {
+            eprintln!("cannot write {aggregates}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote {devices} and {aggregates}");
+    }
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value `{value}` for {flag}");
+        exit(2);
+    })
+}

@@ -1,0 +1,90 @@
+//! Runs a measurement campaign and streams its records to a JSON-lines
+//! file — the simulated counterpart of the paper's rig writing to the
+//! Raspberry Pi database.
+//!
+//! ```text
+//! campaign --out records.jsonl [--boards 16] [--months 24] [--reads 1000]
+//!          [--read-bits 8192] [--seed 2017] [--nack-rate 0.0]
+//! ```
+//!
+//! Pair with the `assess` binary to analyse the file.
+
+use puftestbed::store::JsonLinesSink;
+use puftestbed::{Campaign, CampaignConfig};
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::exit;
+
+fn main() {
+    let mut config = CampaignConfig::default();
+    let mut out: Option<String> = None;
+    let mut seed = 2017u64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{arg} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value().clone()),
+            "--boards" => config.boards = parse(value(), "--boards"),
+            "--months" => config.months = parse(value(), "--months"),
+            "--reads" => config.reads_per_window = parse(value(), "--reads"),
+            "--read-bits" => {
+                config.read_bits = parse(value(), "--read-bits");
+                config.sram_bits = config.sram_bits.max(config.read_bits);
+            }
+            "--seed" => seed = parse(value(), "--seed"),
+            "--nack-rate" => config.i2c_nack_rate = parse(value(), "--nack-rate"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: campaign --out FILE [--boards N] [--months N] [--reads N] \
+                     [--read-bits N] [--seed N] [--nack-rate P]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                exit(2);
+            }
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("--out FILE is required (try --help)");
+        exit(2);
+    };
+
+    eprintln!(
+        "campaign: {} boards × {} months × {} reads/window × {} bits → {out}",
+        config.boards, config.months, config.reads_per_window, config.read_bits
+    );
+    let file = File::create(&out).unwrap_or_else(|e| {
+        eprintln!("cannot create {out}: {e}");
+        exit(1);
+    });
+    let mut sink = JsonLinesSink::new(BufWriter::new(file));
+    let mut campaign = Campaign::new(config, seed);
+    let summary = campaign.run(&mut sink).unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        exit(1);
+    });
+    if let Err(e) = sink.into_inner() {
+        eprintln!("flush failed: {e}");
+        exit(1);
+    }
+    eprintln!(
+        "done: {} records over {} windows ({} transport retries, {} dropped)",
+        summary.records, summary.windows, summary.retries, summary.dropped
+    );
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value `{value}` for {flag}");
+        exit(2);
+    })
+}

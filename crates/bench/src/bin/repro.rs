@@ -1,0 +1,174 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale smoke|small|paper] [--seed N] \
+//!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel] [--all]
+//! ```
+//!
+//! Artifacts are printed to stdout; `--fig4` additionally writes
+//! `fig4_startup_pattern.pgm` to the working directory.
+
+use pufassess::report::{self, Series};
+use pufassess::visualize;
+use pufbench::{run_assessment, Scale};
+use puftestbed::PowerWaveform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sramaging::accelerated;
+use sramcell::{Environment, SramArray, TechnologyProfile};
+use std::collections::BTreeSet;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut seed = 2017;
+    let mut artifacts: BTreeSet<&'static str> = BTreeSet::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().expect("--scale needs a value");
+                scale = Scale::parse(value).unwrap_or_else(|| {
+                    eprintln!("unknown scale `{value}` (smoke|small|paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--fig3" => {
+                artifacts.insert("fig3");
+            }
+            "--fig4" => {
+                artifacts.insert("fig4");
+            }
+            "--fig5" => {
+                artifacts.insert("fig5");
+            }
+            "--fig6" => {
+                artifacts.insert("fig6");
+            }
+            "--table1" => {
+                artifacts.insert("table1");
+            }
+            "--accel" => {
+                artifacts.insert("accel");
+            }
+            "--all" => {
+                for a in ["fig3", "fig4", "fig5", "fig6", "table1", "accel"] {
+                    artifacts.insert(a);
+                }
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if artifacts.is_empty() {
+        for a in ["fig3", "fig4", "fig5", "fig6", "table1", "accel"] {
+            artifacts.insert(a);
+        }
+    }
+
+    // Figures 3 and 4 and the accelerated comparison need no campaign.
+    if artifacts.contains("fig3") {
+        fig3();
+    }
+    if artifacts.contains("fig4") {
+        fig4(seed);
+    }
+    if artifacts.contains("accel") {
+        accel();
+    }
+
+    if ["fig5", "fig6", "table1"]
+        .iter()
+        .any(|a| artifacts.contains(a))
+    {
+        eprintln!("running campaign at {scale:?} scale (seed {seed})…");
+        let assessment = run_assessment(scale, seed);
+        if artifacts.contains("fig5") {
+            println!("\n=== Fig. 5: fractional HD / HW distributions at the start ===\n");
+            println!("{}", report::fig5_text(assessment.initial_quality(), 48));
+        }
+        if artifacts.contains("fig6") {
+            println!("\n=== Fig. 6: development of qualities over the aging test ===\n");
+            for series in [
+                Series::Wchd,
+                Series::Fhw,
+                Series::NoiseEntropy,
+                Series::PufEntropy,
+            ] {
+                println!("{}", report::fig6_text(&assessment, series, 40));
+            }
+        }
+        if artifacts.contains("table1") {
+            println!("\n=== Table I ===\n");
+            println!("{}", assessment.table1().render());
+        }
+    }
+}
+
+fn fig3() {
+    println!("=== Fig. 3: power waveforms (5.4 s period, 3.8 s on) ===\n");
+    let l0 = PowerWaveform::paper_layer(0);
+    let l1 = PowerWaveform::paper_layer(1);
+    let dt = 0.15;
+    for (name, w) in [("S3/S4  (layer 0)", l0), ("S19/S20 (layer 1)", l1)] {
+        let trace: String = w
+            .trace(0.0, 16.2, dt)
+            .iter()
+            .map(|&(_, on)| if on { '▔' } else { '▁' })
+            .collect();
+        println!("{name}: {trace}");
+    }
+    println!(
+        "\nperiod {:.1} s, on {:.1} s, off {:.1} s, duty {:.3}",
+        l0.period_s(),
+        l0.on_s(),
+        l0.off_s(),
+        l0.duty()
+    );
+}
+
+fn fig4(seed: u64) {
+    println!("\n=== Fig. 4: start-up pattern of board S0 (1 KB) ===\n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = TechnologyProfile::atmega32u4();
+    let sram = SramArray::generate(&profile, 8 * 1024, &mut rng);
+    let pattern = sram.power_up(&Environment::nominal(&profile), &mut rng);
+    // Print a 64-bit-wide excerpt (the first 2 KiBit) to keep stdout sane.
+    let excerpt = pattern.prefix(2048);
+    println!("{}", visualize::ascii_raster(&excerpt, 64));
+    println!(
+        "fractional Hamming weight of the full pattern: {:.4}",
+        pattern.fractional_hamming_weight()
+    );
+    let image = visualize::pgm_image(&pattern, 128);
+    match std::fs::write("fig4_startup_pattern.pgm", &image) {
+        Ok(()) => println!("wrote fig4_startup_pattern.pgm ({} bytes)", image.len()),
+        Err(e) => eprintln!("could not write fig4_startup_pattern.pgm: {e}"),
+    }
+}
+
+fn accel() {
+    println!("\n=== Nominal vs accelerated aging (paper §IV-D / §V) ===\n");
+    let (nominal, accelerated_study) = accelerated::comparison(24);
+    for study in [&nominal, &accelerated_study] {
+        println!(
+            "{:<24} WCHD {:.2}% → {:.2}%  ({:+.2}%/month compound)",
+            study.label,
+            study.start_wchd() * 100.0,
+            study.end_wchd() * 100.0,
+            study.monthly_wchd_rate * 100.0,
+        );
+    }
+    println!(
+        "\naccelerated/nominal monthly-rate ratio: {:.2}× (paper: 1.28/0.74 ≈ 1.73×)",
+        accelerated_study.monthly_wchd_rate / nominal.monthly_wchd_rate
+    );
+}

@@ -1,0 +1,114 @@
+//! Shared scenarios for the reproduction harness and benchmarks.
+//!
+//! Every table and figure of the paper maps to one function here; the
+//! `repro` binary prints them and the Criterion benches time them. Scales:
+//!
+//! * [`Scale::Smoke`] — seconds; CI-sized sanity run.
+//! * [`Scale::Small`] — tens of seconds; trends clearly visible.
+//! * [`Scale::Paper`] — the full 16-board × 25-month × 1 000-read protocol
+//!   (minutes in release mode; the read-out count per window is the paper's).
+
+use pufassess::monthly::EvaluationProtocol;
+use pufassess::Assessment;
+use puftestbed::{Campaign, CampaignConfig, Dataset};
+
+/// How much of the paper's scale to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sanity scale (4 boards, 1 KiB·¼ arrays, 50 reads, 6 months).
+    Smoke,
+    /// Reduced scale with clear trends (8 boards, 2 048 bits, 200 reads,
+    /// 24 months).
+    Small,
+    /// The paper's full protocol (16 boards, 8 192-bit read-outs, 1 000
+    /// reads, 24 months).
+    Paper,
+}
+
+impl Scale {
+    /// Parses a scale name (`smoke`, `small`, `paper`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Scale::Smoke),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The campaign configuration at this scale.
+    pub fn campaign_config(&self) -> CampaignConfig {
+        match self {
+            Scale::Smoke => CampaignConfig {
+                boards: 4,
+                sram_bits: 1024,
+                read_bits: 1024,
+                months: 6,
+                reads_per_window: 50,
+                ..CampaignConfig::default()
+            },
+            Scale::Small => CampaignConfig {
+                boards: 8,
+                sram_bits: 2048,
+                read_bits: 2048,
+                months: 24,
+                reads_per_window: 200,
+                ..CampaignConfig::default()
+            },
+            // The paper's defaults.
+            Scale::Paper => CampaignConfig::default(),
+        }
+    }
+
+    /// The matching evaluation protocol.
+    pub fn protocol(&self) -> EvaluationProtocol {
+        EvaluationProtocol {
+            reads_per_window: self.campaign_config().reads_per_window,
+            ..EvaluationProtocol::default()
+        }
+    }
+}
+
+/// Runs the campaign at `scale` and returns its dataset.
+pub fn run_campaign(scale: Scale, seed: u64) -> Dataset {
+    Campaign::new(scale.campaign_config(), seed).run_in_memory()
+}
+
+/// Runs the campaign and the full assessment pipeline at `scale`.
+///
+/// # Panics
+///
+/// Panics if the assessment fails (cannot happen for the built-in scales).
+pub fn run_assessment(scale: Scale, seed: u64) -> Assessment {
+    let dataset = run_campaign(scale, seed);
+    Assessment::from_dataset(&dataset, &scale.protocol())
+        .expect("built-in scales produce assessable datasets")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_parse() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn smoke_assessment_runs_end_to_end() {
+        let a = run_assessment(Scale::Smoke, 1);
+        assert_eq!(a.months(), 7);
+        assert_eq!(a.devices().len(), 4);
+    }
+
+    #[test]
+    fn paper_scale_config_matches_the_paper() {
+        let c = Scale::Paper.campaign_config();
+        assert_eq!(c.boards, 16);
+        assert_eq!(c.read_bits, 8192);
+        assert_eq!(c.reads_per_window, 1000);
+        assert_eq!(c.months, 24);
+    }
+}

@@ -1,0 +1,115 @@
+//! Integration tests for the `campaign` / `assess` / `repro` binaries.
+
+use std::process::Command;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pufbench_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn campaign_then_assess_round_trip() {
+    let records = temp_path("records.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args([
+            "--out",
+            records.to_str().unwrap(),
+            "--boards",
+            "3",
+            "--months",
+            "1",
+            "--reads",
+            "15",
+            "--read-bits",
+            "256",
+            "--seed",
+            "99",
+        ])
+        .output()
+        .expect("campaign runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("90 records"), "{stderr}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_assess"))
+        .args(["--in", records.to_str().unwrap(), "--reads", "15"])
+        .output()
+        .expect("assess runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I"), "{stdout}");
+    assert!(stdout.contains("WCHD"));
+    assert!(stdout.contains("fitted hidden-variable model"));
+    std::fs::remove_file(&records).ok();
+}
+
+#[test]
+fn assess_writes_csv_artifacts() {
+    let records = temp_path("csv_records.jsonl");
+    let prefix = temp_path("csv_out");
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args([
+            "--out",
+            records.to_str().unwrap(),
+            "--boards",
+            "2",
+            "--months",
+            "1",
+            "--reads",
+            "10",
+            "--read-bits",
+            "128",
+        ])
+        .output()
+        .expect("campaign runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_assess"))
+        .args([
+            "--in",
+            records.to_str().unwrap(),
+            "--reads",
+            "10",
+            "--csv",
+            prefix.to_str().unwrap(),
+        ])
+        .output()
+        .expect("assess runs");
+    assert!(out.status.success());
+    let devices_csv = format!("{}_devices.csv", prefix.display());
+    let contents = std::fs::read_to_string(&devices_csv).expect("csv written");
+    assert!(contents.starts_with("device,month"));
+    std::fs::remove_file(&records).ok();
+    std::fs::remove_file(devices_csv).ok();
+    std::fs::remove_file(format!("{}_aggregates.csv", prefix.display())).ok();
+}
+
+#[test]
+fn repro_smoke_produces_all_artifacts() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "smoke", "--all", "--seed", "5"])
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for artifact in ["Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Table I", "accelerated"] {
+        assert!(stdout.contains(artifact), "missing {artifact}");
+    }
+    std::fs::remove_file(std::env::temp_dir().join("fig4_startup_pattern.pgm")).ok();
+}
+
+#[test]
+fn binaries_reject_bad_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["--bogus"])
+        .output()
+        .expect("campaign runs");
+    assert!(!out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_assess"))
+        .output()
+        .expect("assess runs");
+    assert!(!out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "galactic"])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,259 @@
+//! Streaming per-bit one-count accumulation over repeated read-outs.
+
+use crate::{BitVec, MismatchedLengthError};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-bit one-counts over a stream of equal-length read-outs.
+///
+/// The paper's randomness metrics (one-probability, stable-cell ratio, noise
+/// min-entropy) are all functions of how often each SRAM cell powered up to
+/// `1` over a window of consecutive measurements — typically 1 000 per month.
+/// `OnesCounter` computes those counts in a single streaming pass so the
+/// read-outs themselves never need to be retained.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::{BitVec, OnesCounter};
+///
+/// let mut counter = OnesCounter::new(4);
+/// counter.add(&BitVec::from_bits([true, false, true, false]))?;
+/// counter.add(&BitVec::from_bits([true, false, false, false]))?;
+/// assert_eq!(counter.observations(), 2);
+/// assert_eq!(counter.count(0), Some(2));
+/// let p = counter.one_probabilities();
+/// assert!((p[0] - 1.0).abs() < 1e-12);
+/// assert!((p[2] - 0.5).abs() < 1e-12);
+/// # Ok::<(), pufbits::MismatchedLengthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnesCounter {
+    counts: Vec<u32>,
+    observations: u32,
+}
+
+impl OnesCounter {
+    /// Creates a counter for read-outs of `bits` bits each.
+    pub fn new(bits: usize) -> Self {
+        Self {
+            counts: vec![0; bits],
+            observations: 0,
+        }
+    }
+
+    /// Adds one read-out to the accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MismatchedLengthError`] if `readout.len()` differs from the
+    /// counter width.
+    pub fn add(&mut self, readout: &BitVec) -> Result<(), MismatchedLengthError> {
+        if readout.len() != self.counts.len() {
+            return Err(MismatchedLengthError {
+                left: self.counts.len(),
+                right: readout.len(),
+            });
+        }
+        // Unpack word-wise for speed: only visit set bits.
+        for (w, word) in readout.as_words().iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                self.counts[w * 64 + tz] += 1;
+                bits &= bits - 1;
+            }
+        }
+        self.observations += 1;
+        Ok(())
+    }
+
+    /// Number of bits per read-out.
+    pub fn width(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of read-outs accumulated so far.
+    pub fn observations(&self) -> u32 {
+        self.observations
+    }
+
+    /// One-count of bit `index`, or `None` if out of range.
+    pub fn count(&self, index: usize) -> Option<u32> {
+        self.counts.get(index).copied()
+    }
+
+    /// Raw one-counts, one per bit position.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Empirical one-probabilities `p_i = count_i / observations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no read-outs have been added yet.
+    pub fn one_probabilities(&self) -> Vec<f64> {
+        assert!(
+            self.observations > 0,
+            "one_probabilities requires at least one observation"
+        );
+        let n = f64::from(self.observations);
+        self.counts.iter().map(|&c| f64::from(c) / n).collect()
+    }
+
+    /// Number of *stable cells*: bits whose one-probability over the
+    /// accumulated window is exactly zero or one (the paper's §IV-C1
+    /// definition).
+    pub fn stable_cell_count(&self) -> usize {
+        self.counts
+            .iter()
+            .filter(|&&c| c == 0 || c == self.observations)
+            .count()
+    }
+
+    /// Fraction of stable cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter width is zero.
+    pub fn stable_cell_ratio(&self) -> f64 {
+        assert!(self.width() > 0, "stable_cell_ratio on empty counter");
+        self.stable_cell_count() as f64 / self.width() as f64
+    }
+
+    /// Mask of unstable cells (bits that flipped at least once within the
+    /// window); the complement of the stable cells. This is the cell
+    /// selection used by SRAM-PUF TRNGs.
+    pub fn unstable_mask(&self) -> BitVec {
+        self.counts
+            .iter()
+            .map(|&c| c != 0 && c != self.observations)
+            .collect()
+    }
+
+    /// Majority-vote pattern: bit `i` is one iff it was one in at least half
+    /// of the read-outs. Ties (possible for an even number of observations)
+    /// resolve to one.
+    pub fn majority(&self) -> BitVec {
+        let half = self.observations.div_ceil(2);
+        self.counts.iter().map(|&c| c >= half).collect()
+    }
+
+    /// Merges another counter accumulated over the same width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MismatchedLengthError`] if the widths differ.
+    pub fn merge(&mut self, other: &OnesCounter) -> Result<(), MismatchedLengthError> {
+        if self.width() != other.width() {
+            return Err(MismatchedLengthError {
+                left: self.width(),
+                right: other.width(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.observations += other.observations;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_with(readouts: &[&[bool]]) -> OnesCounter {
+        let mut c = OnesCounter::new(readouts[0].len());
+        for r in readouts {
+            c.add(&BitVec::from_bits(r.iter().copied())).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn counts_accumulate_per_bit() {
+        let c = counter_with(&[
+            &[true, true, false],
+            &[true, false, false],
+            &[true, false, false],
+        ]);
+        assert_eq!(c.counts(), &[3, 1, 0]);
+        assert_eq!(c.observations(), 3);
+        assert_eq!(c.count(1), Some(1));
+        assert_eq!(c.count(3), None);
+    }
+
+    #[test]
+    fn add_rejects_wrong_width() {
+        let mut c = OnesCounter::new(8);
+        assert!(c.add(&BitVec::zeros(9)).is_err());
+        assert_eq!(c.observations(), 0);
+    }
+
+    #[test]
+    fn one_probabilities_normalize() {
+        let c = counter_with(&[&[true, false], &[false, false]]);
+        let p = c.one_probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert_eq!(p[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn one_probabilities_require_observations() {
+        OnesCounter::new(4).one_probabilities();
+    }
+
+    #[test]
+    fn stable_cells_are_all_zero_or_all_one() {
+        let c = counter_with(&[
+            &[true, false, true, false],
+            &[true, false, false, true],
+        ]);
+        assert_eq!(c.stable_cell_count(), 2);
+        assert!((c.stable_cell_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            c.unstable_mask(),
+            BitVec::from_bits([false, false, true, true])
+        );
+    }
+
+    #[test]
+    fn majority_votes_per_bit() {
+        let c = counter_with(&[
+            &[true, false, true],
+            &[true, false, false],
+            &[false, false, true],
+        ]);
+        assert_eq!(c.majority(), BitVec::from_bits([true, false, true]));
+    }
+
+    #[test]
+    fn majority_resolves_even_ties_to_one() {
+        let c = counter_with(&[&[true], &[false]]);
+        assert_eq!(c.majority(), BitVec::from_bits([true]));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_observations() {
+        let mut a = counter_with(&[&[true, false]]);
+        let b = counter_with(&[&[true, true], &[false, true]]);
+        a.merge(&b).unwrap();
+        assert_eq!(a.observations(), 3);
+        assert_eq!(a.counts(), &[2, 2]);
+        assert!(a.merge(&OnesCounter::new(3)).is_err());
+    }
+
+    #[test]
+    fn counts_beyond_word_boundary() {
+        let mut readout = BitVec::zeros(130);
+        readout.set(64, true);
+        readout.set(129, true);
+        let mut c = OnesCounter::new(130);
+        c.add(&readout).unwrap();
+        assert_eq!(c.count(64), Some(1));
+        assert_eq!(c.count(129), Some(1));
+        assert_eq!(c.count(0), Some(0));
+    }
+}

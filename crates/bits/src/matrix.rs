@@ -1,0 +1,243 @@
+//! Rectangular stacks of equal-length read-outs.
+
+use crate::{BitVec, MismatchedLengthError, OnesCounter};
+use serde::{Deserialize, Serialize};
+
+/// A rectangular collection of equal-length [`BitVec`] rows.
+///
+/// A `BitMatrix` is the natural shape of a *measurement window*: each row is
+/// one SRAM power-up read-out, each column one cell. It is used where the
+/// individual read-outs must be retained (pairwise Hamming distances,
+/// between-class comparisons); for streaming statistics prefer
+/// [`OnesCounter`].
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::{BitMatrix, BitVec};
+///
+/// let mut m = BitMatrix::new(8);
+/// m.push_row(BitVec::from_bytes(&[0xFF]))?;
+/// m.push_row(BitVec::from_bytes(&[0xF0]))?;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.row(0).unwrap().hamming_distance(m.row(1).unwrap()), 4);
+/// # Ok::<(), pufbits::MismatchedLengthError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    width: usize,
+    rows: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an empty matrix whose rows must be `width` bits wide.
+    pub fn new(width: usize) -> Self {
+        Self {
+            width,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MismatchedLengthError`] if any row's length differs from the
+    /// first row's.
+    pub fn from_rows<I: IntoIterator<Item = BitVec>>(
+        rows: I,
+    ) -> Result<Self, MismatchedLengthError> {
+        let mut iter = rows.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(Self::new(0));
+        };
+        let mut m = Self::new(first.len());
+        m.push_row(first)?;
+        for row in iter {
+            m.push_row(row)?;
+        }
+        Ok(m)
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MismatchedLengthError`] if `row.len() != self.width()`.
+    pub fn push_row(&mut self, row: BitVec) -> Result<(), MismatchedLengthError> {
+        if row.len() != self.width {
+            return Err(MismatchedLengthError {
+                left: self.width,
+                right: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Row width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns row `index`, or `None` if out of range.
+    pub fn row(&self, index: usize) -> Option<&BitVec> {
+        self.rows.get(index)
+    }
+
+    /// Iterator over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, BitVec> {
+        self.rows.iter()
+    }
+
+    /// Accumulates all rows into a fresh [`OnesCounter`].
+    pub fn ones_counter(&self) -> OnesCounter {
+        let mut c = OnesCounter::new(self.width);
+        for row in &self.rows {
+            c.add(row).expect("matrix rows are width-checked");
+        }
+        c
+    }
+
+    /// Fractional Hamming distance of every row to `reference`
+    /// (the paper's within-class HD when `reference` is the enrollment
+    /// read-out of the same device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference.len() != self.width()`.
+    pub fn fhd_to_reference(&self, reference: &BitVec) -> Vec<f64> {
+        assert_eq!(
+            reference.len(),
+            self.width,
+            "reference length {} does not match matrix width {}",
+            reference.len(),
+            self.width
+        );
+        self.rows
+            .iter()
+            .map(|r| r.fractional_hamming_distance(reference))
+            .collect()
+    }
+
+    /// Fractional Hamming distance between every unordered pair of rows
+    /// (the paper's between-class HD when each row is a different device's
+    /// reference). Returns `rows*(rows-1)/2` values.
+    pub fn pairwise_fhd(&self) -> Vec<f64> {
+        let n = self.rows.len();
+        let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push(self.rows[i].fractional_hamming_distance(&self.rows[j]));
+            }
+        }
+        out
+    }
+
+    /// Fractional Hamming weight of every row.
+    pub fn row_fhw(&self) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(BitVec::fractional_hamming_weight)
+            .collect()
+    }
+}
+
+impl FromIterator<BitVec> for BitMatrix {
+    /// Collects rows into a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths; use
+    /// [`BitMatrix::from_rows`] for a fallible variant.
+    fn from_iter<I: IntoIterator<Item = BitVec>>(iter: I) -> Self {
+        Self::from_rows(iter).expect("inconsistent row lengths")
+    }
+}
+
+impl<'a> IntoIterator for &'a BitMatrix {
+    type Item = &'a BitVec;
+    type IntoIter = std::slice::Iter<'a, BitVec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[u8]]) -> BitMatrix {
+        BitMatrix::from_rows(rows.iter().map(|r| BitVec::from_bytes(r))).unwrap()
+    }
+
+    #[test]
+    fn from_rows_checks_width() {
+        let err = BitMatrix::from_rows([BitVec::zeros(8), BitVec::zeros(9)]).unwrap_err();
+        assert_eq!(err.left, 8);
+        assert_eq!(err.right, 9);
+    }
+
+    #[test]
+    fn empty_iterator_gives_empty_matrix() {
+        let m = BitMatrix::from_rows(std::iter::empty()).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.width(), 0);
+    }
+
+    #[test]
+    fn ones_counter_matches_manual_accumulation() {
+        let m = matrix(&[&[0b0011], &[0b0001], &[0b0111]]);
+        let c = m.ones_counter();
+        assert_eq!(c.observations(), 3);
+        assert_eq!(&c.counts()[..4], &[3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn fhd_to_reference_is_per_row() {
+        let m = matrix(&[&[0x00], &[0xFF]]);
+        let fhd = m.fhd_to_reference(&BitVec::from_bytes(&[0x00]));
+        assert_eq!(fhd, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match matrix width")]
+    fn fhd_to_reference_panics_on_mismatch() {
+        matrix(&[&[0x00]]).fhd_to_reference(&BitVec::zeros(4));
+    }
+
+    #[test]
+    fn pairwise_fhd_covers_all_pairs() {
+        let m = matrix(&[&[0x00], &[0xFF], &[0x0F]]);
+        let p = m.pairwise_fhd();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], 1.0); // 0x00 vs 0xFF
+        assert_eq!(p[1], 0.5); // 0x00 vs 0x0F
+        assert_eq!(p[2], 0.5); // 0xFF vs 0x0F
+    }
+
+    #[test]
+    fn row_fhw_is_per_row_weight() {
+        let m = matrix(&[&[0xFF], &[0x0F], &[0x00]]);
+        assert_eq!(m.row_fhw(), vec![1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn iteration_yields_rows_in_order() {
+        let m = matrix(&[&[0x01], &[0x02]]);
+        let rows: Vec<_> = (&m).into_iter().cloned().collect();
+        assert_eq!(rows[0], BitVec::from_bytes(&[0x01]));
+        assert_eq!(rows[1], BitVec::from_bytes(&[0x02]));
+    }
+}

@@ -1,0 +1,113 @@
+//! Operating environment and its effect on power-up noise.
+
+use crate::TechnologyProfile;
+use serde::{Deserialize, Serialize};
+
+/// Operating conditions of one power-up: temperature, supply voltage, and
+/// supply ramp time.
+///
+/// The paper runs its campaign at *nominal* conditions (room temperature,
+/// 5 V); the environment type exists so the same machinery can reproduce the
+/// accelerated-aging comparator (85 °C, raised VDD) and the
+/// ramp-time/temperature noise effects of the paper's ref \[17\].
+///
+/// The environment affects the model in two ways:
+///
+/// * **Noise scale** ([`Environment::noise_sigma`]): the effective power-up
+///   noise grows linearly with temperature above nominal and with faster
+///   supply ramps, making marginal cells flakier.
+/// * **Aging acceleration** (via
+///   [`TechnologyProfile::acceleration_factor`]): higher temperature and
+///   voltage accelerate BTI stress.
+///
+/// # Examples
+///
+/// ```
+/// use sramcell::{Environment, TechnologyProfile};
+///
+/// let profile = TechnologyProfile::atmega32u4();
+/// let nominal = Environment::nominal(&profile);
+/// assert!((nominal.noise_sigma(&profile) - 1.0).abs() < 1e-12);
+///
+/// let hot = Environment { temp_c: 85.0, ..nominal };
+/// assert!(hot.noise_sigma(&profile) > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Ambient temperature in degrees Celsius.
+    pub temp_c: f64,
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Supply ramp time in microseconds.
+    pub ramp_us: f64,
+}
+
+impl Environment {
+    /// The profile's nominal environment.
+    pub fn nominal(profile: &TechnologyProfile) -> Self {
+        Self {
+            temp_c: profile.temp_c,
+            vdd_v: profile.vdd_v,
+            ramp_us: profile.ramp_us,
+        }
+    }
+
+    /// Effective noise sigma relative to nominal (nominal = 1.0).
+    ///
+    /// Linear sensitivity to temperature above nominal and to ramp-time
+    /// reduction below nominal, clamped to stay positive.
+    pub fn noise_sigma(&self, profile: &TechnologyProfile) -> f64 {
+        let temp_term = profile.noise_temp_coeff * (self.temp_c - profile.temp_c);
+        let ramp_term = profile.noise_ramp_coeff * (profile.ramp_us - self.ramp_us);
+        (1.0 + temp_term + ramp_term).max(0.05)
+    }
+
+    /// BTI stress acceleration factor of this environment for `profile`.
+    pub fn acceleration_factor(&self, profile: &TechnologyProfile) -> f64 {
+        profile.acceleration_factor(self.temp_c, self.vdd_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_environment_is_identity() {
+        let p = TechnologyProfile::atmega32u4();
+        let env = Environment::nominal(&p);
+        assert!((env.noise_sigma(&p) - 1.0).abs() < 1e-12);
+        assert!((env.acceleration_factor(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heat_increases_noise() {
+        let p = TechnologyProfile::atmega32u4();
+        let hot = Environment {
+            temp_c: 85.0,
+            ..Environment::nominal(&p)
+        };
+        assert!(hot.noise_sigma(&p) > 1.1);
+    }
+
+    #[test]
+    fn slow_ramp_reduces_noise() {
+        let p = TechnologyProfile::atmega32u4();
+        let slow = Environment {
+            ramp_us: p.ramp_us * 3.0,
+            ..Environment::nominal(&p)
+        };
+        assert!(slow.noise_sigma(&p) < 1.0);
+        assert!(slow.noise_sigma(&p) > 0.0);
+    }
+
+    #[test]
+    fn noise_sigma_never_collapses() {
+        let p = TechnologyProfile::atmega32u4();
+        let extreme = Environment {
+            temp_c: -300.0,
+            ..Environment::nominal(&p)
+        };
+        assert!(extreme.noise_sigma(&p) >= 0.05);
+    }
+}

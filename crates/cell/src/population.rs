@@ -1,0 +1,176 @@
+//! The manufacturing population of cell mismatches and its analytic metrics.
+
+use pufstats::normal::phi;
+use pufstats::solve::gaussian_expectation;
+use serde::{Deserialize, Serialize};
+
+/// Gaussian population of cell mismatches: `m ~ N(mu, sigma^2)` in
+/// noise-sigma units.
+///
+/// Every Table I metric of the paper is an expectation under this population
+/// and is exposed here in quadrature form. These analytic values serve two
+/// roles: they are the *oracle* against which the Monte-Carlo simulation is
+/// property-tested, and they are the objective of the
+/// [`calibrate`](crate::calibrate) solver.
+///
+/// # Examples
+///
+/// ```
+/// use sramcell::PopulationModel;
+///
+/// let pop = PopulationModel::new(0.0, 4.0);
+/// // Unbiased population: FHW = 1/2, BCHD = 1/2.
+/// assert!((pop.expected_fhw() - 0.5).abs() < 1e-9);
+/// assert!((pop.expected_bchd() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationModel {
+    /// Mean mismatch (bias) in noise-sigma units.
+    pub mu: f64,
+    /// Mismatch standard deviation in noise-sigma units.
+    pub sigma: f64,
+}
+
+impl PopulationModel {
+    /// Creates a population model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0` or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "invalid population parameters mu={mu}, sigma={sigma}"
+        );
+        Self { mu, sigma }
+    }
+
+    /// Expectation `E[g(m)]` over the mismatch distribution.
+    pub fn expect(&self, g: impl Fn(f64) -> f64) -> f64 {
+        gaussian_expectation(self.mu, self.sigma, g)
+    }
+
+    /// Expectation `E[g(p)]` over the one-probability `p = Phi(m)`.
+    pub fn expect_p(&self, g: impl Fn(f64) -> f64) -> f64 {
+        self.expect(|m| g(phi(m)))
+    }
+
+    /// Expected fractional Hamming weight: `E[p] = Phi(mu / sqrt(1+sigma^2))`
+    /// (evaluated in closed form).
+    pub fn expected_fhw(&self) -> f64 {
+        phi(self.mu / (1.0 + self.sigma * self.sigma).sqrt())
+    }
+
+    /// Expected within-class fractional Hamming distance against a reference
+    /// read-out sampled from the same fresh device: `E[2 p (1 − p)]`.
+    pub fn expected_wchd(&self) -> f64 {
+        self.expect_p(|p| 2.0 * p * (1.0 - p))
+    }
+
+    /// Expected between-class fractional Hamming distance between two
+    /// independent devices: `2 · E[p] · (1 − E[p])`.
+    pub fn expected_bchd(&self) -> f64 {
+        let f = self.expected_fhw();
+        2.0 * f * (1.0 - f)
+    }
+
+    /// Expected average min-entropy of the power-up noise,
+    /// `E[−log2 max(p, 1 − p)]` — the paper's `(H_min,noise)_average`.
+    pub fn expected_noise_entropy(&self) -> f64 {
+        self.expect_p(|p| -p.max(1.0 - p).log2())
+    }
+
+    /// Expected fraction of *stable* cells over a window of `reads`
+    /// consecutive power-ups: `E[p^reads + (1 − p)^reads]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads == 0`.
+    pub fn expected_stable_ratio(&self, reads: u32) -> f64 {
+        assert!(reads > 0, "stable ratio needs at least one read");
+        let r = i32::try_from(reads).expect("read count fits i32");
+        self.expect_p(|p| p.powi(r) + (1.0 - p).powi(r))
+    }
+
+    /// Expected average min-entropy of the *PUF* (uniqueness): with the
+    /// infinite-device estimator every location has one-probability
+    /// `E[p]` over devices, so this is `−log2 max(E[p], 1 − E[p])`.
+    ///
+    /// The paper estimates the same quantity from only 16 devices, which
+    /// biases the empirical value downward slightly (64.9 % measured vs
+    /// 67.4 % asymptotic); see `pufassess::entropy` for the finite-sample
+    /// estimator.
+    pub fn expected_puf_entropy(&self) -> f64 {
+        let f = self.expected_fhw();
+        -f.max(1.0 - f).log2()
+    }
+
+    /// Probability density of the mismatch at `m`.
+    pub fn density(&self, m: f64) -> f64 {
+        pufstats::normal::pdf((m - self.mu) / self.sigma) / self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fhw_closed_form_matches_quadrature() {
+        let pop = PopulationModel::new(1.3, 5.0);
+        let quad = pop.expect_p(|p| p);
+        assert!((quad - pop.expected_fhw()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_population_is_point_mass() {
+        let pop = PopulationModel::new(0.0, 0.0);
+        assert!((pop.expected_fhw() - 0.5).abs() < 1e-12);
+        assert!((pop.expected_wchd() - 0.5).abs() < 1e-12);
+        assert!((pop.expected_noise_entropy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeply_skewed_population_is_stable_and_entropy_free() {
+        let pop = PopulationModel::new(40.0, 1.0);
+        assert!(pop.expected_wchd() < 1e-6);
+        assert!(pop.expected_noise_entropy() < 1e-6);
+        assert!(pop.expected_stable_ratio(1000) > 0.999_99);
+        assert!(pop.expected_fhw() > 0.999_99);
+    }
+
+    #[test]
+    fn noise_entropy_exceeds_wchd_for_wide_populations() {
+        // For a wide (locally flat near m = 0) population the ratio of noise
+        // entropy to WCHD approaches ≈1.23 — the same ratio the paper
+        // measures (3.05 % / 2.49 % = 1.22).
+        let pop = PopulationModel::new(5.0, 16.0);
+        let ratio = pop.expected_noise_entropy() / pop.expected_wchd();
+        assert!((ratio - 1.23).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn stable_ratio_decreases_with_window_length() {
+        let pop = PopulationModel::new(0.3, 6.0);
+        let short = pop.expected_stable_ratio(10);
+        let long = pop.expected_stable_ratio(1000);
+        assert!(long < short);
+        assert!(long > 0.0 && short < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid population parameters")]
+    fn negative_sigma_rejected() {
+        PopulationModel::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let pop = PopulationModel::new(2.0, 3.0);
+        // Riemann sum over ±10 sigma.
+        let (lo, hi, n) = (2.0 - 30.0, 2.0 + 30.0, 6000);
+        let h = (hi - lo) / n as f64;
+        let total: f64 = (0..n).map(|i| pop.density(lo + (i as f64 + 0.5) * h) * h).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,253 @@
+//! Intelligent supply-ramp adaptation (the paper's ref \[17\]).
+//!
+//! Cortez et al. (IEEE TCAD 2015) reduce temperature-induced PUF noise by
+//! adapting the supply's ramp-up time: slower ramps give the cross-coupled
+//! inverters longer to resolve their static mismatch, suppressing noise —
+//! at the cost of boot latency. [`RampAdapter`] implements that controller
+//! against this crate's environment model: it probes the device's measured
+//! instability at candidate ramp times and picks the **fastest** ramp that
+//! still meets the reliability target.
+
+use crate::{Environment, SramArray};
+use pufbits::OnesCounter;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`RampAdapter::adapt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnreachableTargetError {
+    /// The requested maximum instability.
+    pub target: f64,
+    /// Best (lowest) instability achieved, at the slowest allowed ramp.
+    pub best: f64,
+    /// The ramp time that achieved it, microseconds.
+    pub at_ramp_us: f64,
+}
+
+impl fmt::Display for UnreachableTargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instability target {:.3}% unreachable: best {:.3}% at {} µs",
+            self.target * 100.0,
+            self.best * 100.0,
+            self.at_ramp_us
+        )
+    }
+}
+
+impl Error for UnreachableTargetError {}
+
+/// The ramp-time adaptation controller.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sramcell::ramp::RampAdapter;
+/// use sramcell::{Environment, SramArray, TechnologyProfile};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+/// let profile = TechnologyProfile::atmega32u4();
+/// let sram = SramArray::generate(&profile, 4096, &mut rng);
+/// let hot = Environment { temp_c: 85.0, ..Environment::nominal(&profile) };
+///
+/// let adapter = RampAdapter::new(0.012, 20.0, 400.0, 40);
+/// let adapted = adapter.adapt(&sram, hot, &mut rng)?;
+/// // Heat is compensated by a slower ramp.
+/// assert!(adapted.ramp_us > hot.ramp_us);
+/// # Ok::<(), sramcell::ramp::UnreachableTargetError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RampAdapter {
+    /// Maximum tolerated instability (mean fractional flip rate vs the
+    /// majority pattern) after adaptation.
+    pub target_instability: f64,
+    /// Fastest ramp the supply supports, microseconds.
+    pub min_ramp_us: f64,
+    /// Slowest acceptable ramp (boot-latency budget), microseconds.
+    pub max_ramp_us: f64,
+    /// Power-ups spent probing each candidate ramp.
+    pub probe_reads: u32,
+}
+
+impl RampAdapter {
+    /// Creates an adapter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_ramp_us <= max_ramp_us`,
+    /// `target_instability ∈ (0, 1)`, and `probe_reads >= 2`.
+    pub fn new(
+        target_instability: f64,
+        min_ramp_us: f64,
+        max_ramp_us: f64,
+        probe_reads: u32,
+    ) -> Self {
+        assert!(
+            target_instability > 0.0 && target_instability < 1.0,
+            "target instability must be a proportion"
+        );
+        assert!(
+            min_ramp_us > 0.0 && min_ramp_us <= max_ramp_us,
+            "invalid ramp range [{min_ramp_us}, {max_ramp_us}]"
+        );
+        assert!(probe_reads >= 2, "probing needs at least two reads");
+        Self {
+            target_instability,
+            min_ramp_us,
+            max_ramp_us,
+            probe_reads,
+        }
+    }
+
+    /// Measured instability at one candidate environment: mean fraction of
+    /// cells disagreeing with the window's majority pattern.
+    pub fn probe<R: Rng + ?Sized>(
+        &self,
+        sram: &SramArray,
+        env: &Environment,
+        rng: &mut R,
+    ) -> f64 {
+        let mut counter = OnesCounter::new(sram.len());
+        let readouts: Vec<_> = (0..self.probe_reads)
+            .map(|_| sram.power_up(env, rng))
+            .collect();
+        for r in &readouts {
+            counter.add(r).expect("constant width");
+        }
+        let majority = counter.majority();
+        readouts
+            .iter()
+            .map(|r| r.fractional_hamming_distance(&majority))
+            .sum::<f64>()
+            / f64::from(self.probe_reads)
+    }
+
+    /// Finds the fastest ramp within the budget whose measured instability
+    /// meets the target, by binary search over the (monotone) ramp-noise
+    /// relationship. Returns the adapted environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnreachableTargetError`] if even the slowest allowed ramp
+    /// misses the target at this temperature.
+    pub fn adapt<R: Rng + ?Sized>(
+        &self,
+        sram: &SramArray,
+        base: Environment,
+        rng: &mut R,
+    ) -> Result<Environment, UnreachableTargetError> {
+        let env_at = |ramp_us: f64| Environment { ramp_us, ..base };
+        let slowest = env_at(self.max_ramp_us);
+        let at_slowest = self.probe(sram, &slowest, rng);
+        if at_slowest > self.target_instability {
+            return Err(UnreachableTargetError {
+                target: self.target_instability,
+                best: at_slowest,
+                at_ramp_us: self.max_ramp_us,
+            });
+        }
+        if self.probe(sram, &env_at(self.min_ramp_us), rng) <= self.target_instability {
+            return Ok(env_at(self.min_ramp_us));
+        }
+        let (mut lo, mut hi) = (self.min_ramp_us, self.max_ramp_us);
+        for _ in 0..16 {
+            let mid = 0.5 * (lo + hi);
+            if self.probe(sram, &env_at(mid), rng) <= self.target_instability {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(env_at(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TechnologyProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (SramArray, Environment, StdRng) {
+        let profile = TechnologyProfile::atmega32u4();
+        let mut rng = StdRng::seed_from_u64(200);
+        let sram = SramArray::generate(&profile, 8192, &mut rng);
+        let env = Environment::nominal(&profile);
+        (sram, env, rng)
+    }
+
+    #[test]
+    fn adapted_environment_meets_the_target() {
+        let (sram, nominal, mut rng) = fixture();
+        let hot = Environment {
+            temp_c: 85.0,
+            ..nominal
+        };
+        let adapter = RampAdapter::new(0.012, 20.0, 450.0, 50);
+        let adapted = adapter.adapt(&sram, hot, &mut rng).unwrap();
+        let achieved = adapter.probe(&sram, &adapted, &mut rng);
+        // Allow probe-to-probe Monte-Carlo jitter above the target.
+        assert!(achieved < 0.016, "achieved {achieved}");
+        assert!(adapted.ramp_us > hot.ramp_us, "heat needs a slower ramp");
+        assert_eq!(adapted.temp_c, 85.0, "temperature untouched");
+    }
+
+    #[test]
+    fn hotter_devices_need_slower_ramps() {
+        let (sram, nominal, mut rng) = fixture();
+        let adapter = RampAdapter::new(0.012, 10.0, 500.0, 50);
+        let cold = adapter
+            .adapt(&sram, Environment { temp_c: 0.0, ..nominal }, &mut rng)
+            .unwrap();
+        let hot = adapter
+            .adapt(&sram, Environment { temp_c: 95.0, ..nominal }, &mut rng)
+            .unwrap();
+        assert!(
+            hot.ramp_us > cold.ramp_us,
+            "hot {} µs vs cold {} µs",
+            hot.ramp_us,
+            cold.ramp_us
+        );
+    }
+
+    #[test]
+    fn impossible_targets_are_reported_with_the_best_effort() {
+        let (sram, nominal, mut rng) = fixture();
+        // 0.01 % instability is beyond what any ramp achieves at 105 °C
+        // with this budget.
+        let adapter = RampAdapter::new(0.0001, 20.0, 120.0, 50);
+        let err = adapter
+            .adapt(
+                &sram,
+                Environment {
+                    temp_c: 105.0,
+                    ..nominal
+                },
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(err.best > err.target);
+        assert_eq!(err.at_ramp_us, 120.0);
+        assert!(err.to_string().contains("unreachable"));
+    }
+
+    #[test]
+    fn easy_targets_use_the_fastest_ramp() {
+        let (sram, nominal, mut rng) = fixture();
+        // 20 % instability is trivially met even at the fastest ramp.
+        let adapter = RampAdapter::new(0.20, 25.0, 400.0, 30);
+        let adapted = adapter.adapt(&sram, nominal, &mut rng).unwrap();
+        assert_eq!(adapted.ramp_us, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ramp range")]
+    fn inverted_ramp_range_rejected() {
+        RampAdapter::new(0.03, 500.0, 100.0, 10);
+    }
+}

@@ -1,0 +1,215 @@
+//! Technology profiles: electrical and variation parameters per silicon node.
+
+use crate::PopulationModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Electrical, variation, and aging parameters of one SRAM technology.
+///
+/// Two presets ship with the crate:
+///
+/// * [`TechnologyProfile::atmega32u4`] — the SRAM of the ATmega32u4
+///   microcontroller on the paper's Arduino Leonardo boards (5 V, 2.5 KB),
+///   calibrated so a fresh population reproduces the *start* column of the
+///   paper's Table I (FHW 62.70 %, WCHD 2.49 %).
+/// * [`TechnologyProfile::cmos65nm`] — a 65 nm profile calibrated to the
+///   accelerated-aging comparator study (Maes & van der Leest, HOST 2014,
+///   the paper's ref \[5\]: WCHD 5.3 % at the start of life).
+///
+/// The BTI fields parameterize the aging law implemented in the `sramaging`
+/// crate: threshold drift `ΔVth ∝ bti_prefactor · τ^bti_exponent` with
+/// Arrhenius activation `bti_activation_ev` and exponential voltage
+/// acceleration `bti_voltage_gamma` (per volt).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyProfile {
+    /// Human-readable name, e.g. `"atmega32u4"`.
+    pub name: String,
+    /// Process node in nanometres (informational).
+    pub node_nm: u32,
+    /// Nominal supply voltage in volts.
+    pub vdd_v: f64,
+    /// Nominal operating temperature in degrees Celsius.
+    pub temp_c: f64,
+    /// Cell mismatch population (mean and sigma in noise-sigma units).
+    pub population: PopulationModel,
+    /// Fractional noise-sigma increase per kelvin above nominal temperature.
+    pub noise_temp_coeff: f64,
+    /// Fractional noise-sigma increase per microsecond of supply ramp time
+    /// below the nominal ramp (faster ramps are noisier, per the paper's
+    /// ref \[17\]).
+    pub noise_ramp_coeff: f64,
+    /// Nominal supply ramp time in microseconds.
+    pub ramp_us: f64,
+    /// BTI drift prefactor, in noise-sigma units per `year^bti_exponent` of
+    /// effective stress at nominal conditions.
+    pub bti_prefactor: f64,
+    /// BTI time-power-law exponent `n` (typically 0.1–0.3).
+    pub bti_exponent: f64,
+    /// BTI Arrhenius activation energy in electronvolts.
+    pub bti_activation_ev: f64,
+    /// BTI voltage acceleration, per volt of overdrive.
+    pub bti_voltage_gamma: f64,
+    /// Standard deviation of the *device-level* systematic bias: each
+    /// manufactured array shifts its whole mismatch population by a common
+    /// `N(0, device_bias_sigma²)` offset (in noise-sigma units), on top of
+    /// the per-cell variation. Reproduces the board-to-board Hamming-weight
+    /// spread of the paper's Fig. 5 / Table I worst-case rows (devices
+    /// ranging ~60–66 % FHW around the 62.7 % mean).
+    pub device_bias_sigma: f64,
+    /// Ratio of the data-independent drift component to the state-dependent
+    /// one (`beta`): per unit of cumulative drift `g(τ)`, a cell's mismatch
+    /// moves by `−(2p−1)·g + beta·eta·g` where `eta` is the cell's static
+    /// [`drift_bias`](crate::Cell::drift_bias). Calibrated so the two-year
+    /// noise-entropy growth matches the paper's +19.3 % (Table I) at the
+    /// same time as the WCHD endpoint.
+    pub bti_bias_ratio: f64,
+}
+
+impl TechnologyProfile {
+    /// The ATmega32u4 profile used by the paper's measurement campaign.
+    ///
+    /// The mismatch population `(mu, sigma)` is the output of
+    /// [`calibrate::to_targets`](crate::calibrate::to_targets) for the
+    /// paper's start-of-test values (FHW = 62.70 %, WCHD = 2.49 %); the
+    /// values are frozen here so that profile construction is cheap and
+    /// deterministic, and a unit test re-derives them from the calibrator.
+    /// The BTI prefactor is likewise frozen from the aging calibration
+    /// (WCHD 2.49 % → 2.97 % over 24 months, Table I).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = sramcell::TechnologyProfile::atmega32u4();
+    /// assert_eq!(p.vdd_v, 5.0);
+    /// let fhw = p.population.expected_fhw();
+    /// assert!((fhw - 0.6270).abs() < 1e-3);
+    /// ```
+    pub fn atmega32u4() -> Self {
+        Self {
+            name: "atmega32u4".to_string(),
+            node_nm: 350,
+            vdd_v: 5.0,
+            temp_c: 25.0,
+            // Frozen output of `calibrate::to_targets(0.6270, 0.0249)`.
+            population: PopulationModel::new(5.558_114, 17.129_842),
+            noise_temp_coeff: 0.004,
+            noise_ramp_coeff: 0.002,
+            ramp_us: 100.0,
+            // Frozen output of the sramaging nominal calibration.
+            bti_prefactor: 0.275_028,
+            bti_exponent: 0.2,
+            bti_activation_ev: 0.5,
+            bti_voltage_gamma: 2.0,
+            device_bias_sigma: 0.6,
+            bti_bias_ratio: 2.091_248,
+        }
+    }
+
+    /// A 65 nm profile matching the accelerated-aging comparator study
+    /// (start-of-life WCHD 5.3 % at a balanced FHW of ~49 %).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = sramcell::TechnologyProfile::cmos65nm();
+    /// assert!(p.node_nm == 65);
+    /// ```
+    pub fn cmos65nm() -> Self {
+        Self {
+            name: "cmos65nm".to_string(),
+            node_nm: 65,
+            vdd_v: 1.2,
+            temp_c: 25.0,
+            // Frozen output of `calibrate::to_targets(0.49, 0.053)`.
+            population: PopulationModel::new(-0.213_103, 8.441_674),
+            noise_temp_coeff: 0.004,
+            noise_ramp_coeff: 0.002,
+            ramp_us: 50.0,
+            bti_prefactor: 0.275_028,
+            bti_exponent: 0.2,
+            bti_activation_ev: 0.5,
+            bti_voltage_gamma: 2.0,
+            device_bias_sigma: 0.3,
+            bti_bias_ratio: 2.091_248,
+        }
+    }
+
+    /// BTI stress acceleration factor of environment `(temp_c, vdd_v)`
+    /// relative to this profile's nominal conditions.
+    ///
+    /// `AF = exp(Ea/k · (1/T_nom − 1/T)) · exp(gamma · (V − V_nom))`,
+    /// with temperatures in kelvin. At nominal conditions the factor is 1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = sramcell::TechnologyProfile::atmega32u4();
+    /// assert!((p.acceleration_factor(p.temp_c, p.vdd_v) - 1.0).abs() < 1e-12);
+    /// assert!(p.acceleration_factor(85.0, p.vdd_v * 1.1) > 10.0);
+    /// ```
+    pub fn acceleration_factor(&self, temp_c: f64, vdd_v: f64) -> f64 {
+        const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+        let t_nom = self.temp_c + 273.15;
+        let t = temp_c + 273.15;
+        let arrhenius = (self.bti_activation_ev / BOLTZMANN_EV_PER_K * (1.0 / t_nom - 1.0 / t)).exp();
+        let voltage = (self.bti_voltage_gamma * (vdd_v - self.vdd_v)).exp();
+        arrhenius * voltage
+    }
+}
+
+impl fmt::Display for TechnologyProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} nm, {} V, {} °C)",
+            self.name, self.node_nm, self.vdd_v, self.temp_c
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atmega_profile_reproduces_paper_start_metrics() {
+        let p = TechnologyProfile::atmega32u4();
+        let pop = &p.population;
+        assert!((pop.expected_fhw() - 0.6270).abs() < 5e-4, "fhw");
+        assert!((pop.expected_wchd() - 0.0249).abs() < 5e-5, "wchd");
+        // These two fall out of the model rather than being fitted; the
+        // paper's measured values are 3.05 % and 85.9 %.
+        let noise = pop.expected_noise_entropy();
+        assert!((0.025..=0.037).contains(&noise), "noise entropy {noise}");
+        let stable = pop.expected_stable_ratio(1000);
+        assert!((0.83..=0.91).contains(&stable), "stable ratio {stable}");
+        // BCHD follows from FHW alone: 2·f·(1−f) ≈ 46.8 %.
+        assert!((pop.expected_bchd() - 0.4677).abs() < 2e-3);
+    }
+
+    #[test]
+    fn cmos65_profile_matches_host14_start() {
+        let p = TechnologyProfile::cmos65nm();
+        assert!((p.population.expected_fhw() - 0.49).abs() < 5e-3);
+        assert!((p.population.expected_wchd() - 0.053).abs() < 5e-4);
+    }
+
+    #[test]
+    fn acceleration_factor_is_monotone_in_temperature_and_voltage() {
+        let p = TechnologyProfile::atmega32u4();
+        let base = p.acceleration_factor(p.temp_c, p.vdd_v);
+        assert!((base - 1.0).abs() < 1e-12);
+        let hot = p.acceleration_factor(85.0, p.vdd_v);
+        let hot_hv = p.acceleration_factor(85.0, p.vdd_v + 0.5);
+        assert!(hot > 1.0);
+        assert!(hot_hv > hot);
+        assert!(p.acceleration_factor(0.0, p.vdd_v) < 1.0);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(TechnologyProfile::atmega32u4()
+            .to_string()
+            .contains("atmega32u4"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based invariants of the cell model and its calibration.
+
+use proptest::prelude::*;
+use sramcell::{calibrate, Cell, Environment, PopulationModel, SramArray, TechnologyProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_probability_is_monotone_in_mismatch(m1 in -20.0f64..20.0, m2 in -20.0f64..20.0, noise in 0.1f64..5.0) {
+        let (lo, hi) = if m1 < m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(Cell::new(lo).one_probability(noise) <= Cell::new(hi).one_probability(noise));
+    }
+
+    #[test]
+    fn noise_flattens_probability_toward_half(m in -10.0f64..10.0, n1 in 0.1f64..2.0, n2 in 2.0f64..10.0) {
+        let p_quiet = Cell::new(m).one_probability(n1);
+        let p_noisy = Cell::new(m).one_probability(n2);
+        prop_assert!((p_noisy - 0.5).abs() <= (p_quiet - 0.5).abs() + 1e-12);
+    }
+
+    #[test]
+    fn calibration_inverts_the_analytic_model(fhw in 0.35f64..0.75, wchd_frac in 0.05f64..0.6) {
+        // A reachable WCHD target: strictly below the sigma→0 ceiling.
+        let ceiling = 2.0 * fhw * (1.0 - fhw);
+        let wchd = ceiling * wchd_frac;
+        let pop = calibrate::to_targets(fhw, wchd).unwrap();
+        prop_assert!((pop.expected_fhw() - fhw).abs() < 1e-6, "fhw {}", pop.expected_fhw());
+        prop_assert!((pop.expected_wchd() - wchd).abs() < 1e-6, "wchd {}", pop.expected_wchd());
+    }
+
+    #[test]
+    fn population_metric_relationships(mu in -5.0f64..5.0, sigma in 0.5f64..30.0) {
+        let pop = PopulationModel::new(mu, sigma);
+        // Noise entropy dominates WCHD/2 and stays below Shannon's bound of 1.
+        let wchd = pop.expected_wchd();
+        let noise = pop.expected_noise_entropy();
+        prop_assert!(noise >= wchd / 2.0 - 1e-9, "noise {noise} vs wchd {wchd}");
+        prop_assert!(noise <= 1.0);
+        // Stable ratio decreases as the window grows.
+        prop_assert!(pop.expected_stable_ratio(1000) <= pop.expected_stable_ratio(10) + 1e-12);
+        // BCHD ≤ 0.5 always.
+        prop_assert!(pop.expected_bchd() <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn generated_arrays_track_population_fhw(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let profile = TechnologyProfile::atmega32u4();
+        let sram = SramArray::generate(&profile, 16_384, &mut rng);
+        let env = Environment::nominal(&profile);
+        let expected = profile.population.expected_fhw();
+        let got = sram.expected_fhw(&env);
+        // Per-cell sampling noise is tiny at 16 384 cells; the dominant
+        // spread is the device-level bias (sigma 0.6 in mu units ≈ 0.013
+        // in FHW units) — allow a 4-sigma band.
+        prop_assert!((got - expected).abs() < 0.055, "{got} vs {expected}");
+    }
+}

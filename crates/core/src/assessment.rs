@@ -1,0 +1,390 @@
+//! The full assessment pipeline: campaign dataset → Fig. 6 development
+//! series → Table I.
+
+use crate::entropy::{noise_entropy, puf_entropy, stable_cell_ratio};
+use crate::metrics::{within_class_hd, InitialQuality};
+use crate::monthly::{month_keys, select_windows, EvaluationProtocol, MonthlyWindow};
+use crate::table1::Table1;
+use pufbits::{BitMatrix, BitVec};
+use pufstats::Summary;
+use puftestbed::{BoardId, Dataset, Record};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`Assessment::from_dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssessError {
+    /// The dataset holds no records.
+    Empty,
+    /// A device has no window in the first month (no reference available).
+    MissingReference {
+        /// The device without a month-zero window.
+        device: BoardId,
+    },
+    /// Fewer than two devices — uniqueness metrics undefined.
+    TooFewDevices {
+        /// Devices present.
+        devices: usize,
+    },
+}
+
+impl fmt::Display for AssessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssessError::Empty => write!(f, "dataset holds no records"),
+            AssessError::MissingReference { device } => {
+                write!(f, "device {device} has no month-zero window")
+            }
+            AssessError::TooFewDevices { devices } => {
+                write!(f, "uniqueness metrics need ≥2 devices, got {devices}")
+            }
+        }
+    }
+}
+
+impl Error for AssessError {}
+
+/// One device's metrics for one month (a point on each per-device line of
+/// the paper's Fig. 6a–c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceMonth {
+    /// The device.
+    pub device: BoardId,
+    /// Calendar month `(year, month)`.
+    pub year_month: (i32, u8),
+    /// Zero-based month index since the campaign start.
+    pub month_index: u32,
+    /// Average FHD of the window's read-outs vs the device's month-zero
+    /// reference (Fig. 6a).
+    pub wchd: f64,
+    /// Average fractional Hamming weight over the window (Fig. 6b).
+    pub fhw: f64,
+    /// Noise min-entropy over the window (Fig. 6c).
+    pub noise_entropy: f64,
+    /// Stable-cell ratio over the window.
+    pub stable_ratio: f64,
+}
+
+/// Cross-device aggregates for one month (the paper's Fig. 6d and Table I
+/// columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthlyAggregate {
+    /// Zero-based month index.
+    pub month_index: u32,
+    /// Calendar month.
+    pub year_month: (i32, u8),
+    /// WCHD across devices.
+    pub wchd: Summary,
+    /// FHW across devices.
+    pub fhw: Summary,
+    /// Noise entropy across devices.
+    pub noise_entropy: Summary,
+    /// Stable-cell ratio across devices.
+    pub stable_ratio: Summary,
+    /// BCHD across device pairs (first read-out of each device's window).
+    pub bchd: Summary,
+    /// PUF min-entropy across devices (Fig. 6d).
+    pub puf_entropy: f64,
+}
+
+/// The complete long-term assessment of one campaign.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assessment {
+    protocol: EvaluationProtocol,
+    device_months: Vec<DeviceMonth>,
+    aggregates: Vec<MonthlyAggregate>,
+    initial_quality: InitialQuality,
+}
+
+impl Assessment {
+    /// Runs the paper's evaluation protocol over a campaign dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssessError`] if the dataset is empty, has fewer than two
+    /// devices, or a device lacks a month-zero reference window.
+    pub fn from_dataset(dataset: &Dataset, protocol: &EvaluationProtocol) -> Result<Self, AssessError> {
+        Self::from_records(dataset.records(), protocol)
+    }
+
+    /// [`from_dataset`](Self::from_dataset) over a raw record slice (e.g.
+    /// read back from a JSON-lines store).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_dataset`](Self::from_dataset).
+    pub fn from_records(
+        records: &[Record],
+        protocol: &EvaluationProtocol,
+    ) -> Result<Self, AssessError> {
+        if records.is_empty() {
+            return Err(AssessError::Empty);
+        }
+        let windows = select_windows(records, protocol);
+        let months = month_keys(&windows);
+        let month_index: BTreeMap<(i32, u8), u32> = months
+            .iter()
+            .enumerate()
+            .map(|(i, &ym)| (ym, u32::try_from(i).expect("month count fits u32")))
+            .collect();
+
+        // Month-zero references per device.
+        let first_month = months[0];
+        let mut references: BTreeMap<BoardId, BitVec> = BTreeMap::new();
+        let mut devices: Vec<BoardId> = Vec::new();
+        for w in &windows {
+            if !devices.contains(&w.device) {
+                devices.push(w.device);
+            }
+            if w.year_month == first_month {
+                references.insert(w.device, w.first_read.clone());
+            }
+        }
+        if devices.len() < 2 {
+            return Err(AssessError::TooFewDevices {
+                devices: devices.len(),
+            });
+        }
+        for device in &devices {
+            if !references.contains_key(device) {
+                return Err(AssessError::MissingReference { device: *device });
+            }
+        }
+
+        // Per-device monthly metrics.
+        let mut device_months = Vec::with_capacity(windows.len());
+        for w in &windows {
+            let reference = &references[&w.device];
+            device_months.push(DeviceMonth {
+                device: w.device,
+                year_month: w.year_month,
+                month_index: month_index[&w.year_month],
+                wchd: within_class_hd(&w.readouts, reference),
+                fhw: crate::metrics::fractional_hw(&w.readouts),
+                noise_entropy: noise_entropy(&w.counter),
+                stable_ratio: stable_cell_ratio(&w.counter),
+            });
+        }
+
+        // Cross-device aggregates per month.
+        let mut aggregates = Vec::with_capacity(months.len());
+        for &ym in &months {
+            let of_month: Vec<&DeviceMonth> =
+                device_months.iter().filter(|d| d.year_month == ym).collect();
+            let month_windows: Vec<&MonthlyWindow> =
+                windows.iter().filter(|w| w.year_month == ym).collect();
+            let firsts: BitMatrix = month_windows
+                .iter()
+                .map(|w| w.first_read.clone())
+                .collect();
+            let bchd_samples = crate::metrics::between_class_hds(&firsts);
+            aggregates.push(MonthlyAggregate {
+                month_index: month_index[&ym],
+                year_month: ym,
+                wchd: Summary::of(of_month.iter().map(|d| d.wchd)),
+                fhw: Summary::of(of_month.iter().map(|d| d.fhw)),
+                noise_entropy: Summary::of(of_month.iter().map(|d| d.noise_entropy)),
+                stable_ratio: Summary::of(of_month.iter().map(|d| d.stable_ratio)),
+                bchd: Summary::of(bchd_samples),
+                puf_entropy: puf_entropy(&firsts),
+            });
+        }
+
+        // Fig. 5 bundle from the first month's windows.
+        let first_windows: Vec<BitMatrix> = windows
+            .iter()
+            .filter(|w| w.year_month == first_month)
+            .map(|w| w.readouts.clone())
+            .collect();
+        let initial_quality = InitialQuality::evaluate(&first_windows);
+
+        Ok(Self {
+            protocol: *protocol,
+            device_months,
+            aggregates,
+            initial_quality,
+        })
+    }
+
+    /// The protocol used.
+    pub fn protocol(&self) -> EvaluationProtocol {
+        self.protocol
+    }
+
+    /// Number of evaluated months (including month zero).
+    pub fn months(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// Devices present.
+    pub fn devices(&self) -> Vec<BoardId> {
+        let mut ids: Vec<BoardId> = self.device_months.iter().map(|d| d.device).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Per-device monthly metrics (the lines of Fig. 6a–c).
+    pub fn device_months(&self) -> &[DeviceMonth] {
+        &self.device_months
+    }
+
+    /// One device's series, in month order.
+    pub fn device_series(&self, device: BoardId) -> Vec<&DeviceMonth> {
+        let mut v: Vec<&DeviceMonth> = self
+            .device_months
+            .iter()
+            .filter(|d| d.device == device)
+            .collect();
+        v.sort_by_key(|d| d.month_index);
+        v
+    }
+
+    /// Cross-device aggregates, in month order (Fig. 6 aggregate view).
+    pub fn aggregates(&self) -> &[MonthlyAggregate] {
+        &self.aggregates
+    }
+
+    /// The Fig. 5 start-of-test quality bundle.
+    pub fn initial_quality(&self) -> &InitialQuality {
+        &self.initial_quality
+    }
+
+    /// Condenses the assessment into the paper's Table I.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two months were evaluated (no aging interval).
+    pub fn table1(&self) -> Table1 {
+        Table1::from_assessment(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puftestbed::{Campaign, CampaignConfig};
+
+    fn small_campaign(months: u32, boards: usize, seed: u64) -> Dataset {
+        let config = CampaignConfig {
+            boards,
+            sram_bits: 2048,
+            read_bits: 2048,
+            months,
+            reads_per_window: 40,
+            ..CampaignConfig::default()
+        };
+        Campaign::new(config, seed).run_in_memory()
+    }
+
+    fn protocol() -> EvaluationProtocol {
+        EvaluationProtocol {
+            reads_per_window: 40,
+            ..EvaluationProtocol::default()
+        }
+    }
+
+    #[test]
+    fn assessment_covers_every_device_and_month() {
+        let dataset = small_campaign(3, 5, 50);
+        let a = Assessment::from_dataset(&dataset, &protocol()).unwrap();
+        assert_eq!(a.months(), 4);
+        assert_eq!(a.devices().len(), 5);
+        assert_eq!(a.device_months().len(), 20);
+        for device in a.devices() {
+            assert_eq!(a.device_series(device).len(), 4);
+        }
+    }
+
+    #[test]
+    fn month_zero_wchd_matches_fresh_quality() {
+        let dataset = small_campaign(1, 4, 51);
+        let a = Assessment::from_dataset(&dataset, &protocol()).unwrap();
+        let m0 = &a.aggregates()[0];
+        // Paper start: ~2.5 % WCHD, 40–50 % BCHD, 60–70 % FHW.
+        assert!((0.01..=0.04).contains(&m0.wchd.mean), "wchd {}", m0.wchd.mean);
+        assert!((0.40..=0.52).contains(&m0.bchd.mean), "bchd {}", m0.bchd.mean);
+        assert!((0.57..=0.68).contains(&m0.fhw.mean), "fhw {}", m0.fhw.mean);
+        assert!(m0.puf_entropy > 0.4, "puf entropy {}", m0.puf_entropy);
+    }
+
+    #[test]
+    fn aging_trends_appear_in_the_aggregates() {
+        let dataset = small_campaign(24, 4, 52);
+        let a = Assessment::from_dataset(&dataset, &protocol()).unwrap();
+        let first = &a.aggregates()[0];
+        let last = &a.aggregates()[a.months() - 1];
+        assert!(last.wchd.mean > first.wchd.mean, "wchd rises");
+        assert!(
+            last.noise_entropy.mean > first.noise_entropy.mean,
+            "noise entropy rises"
+        );
+        assert!(
+            last.stable_ratio.mean < first.stable_ratio.mean,
+            "stable cells fall"
+        );
+        // Uniqueness flat.
+        assert!((last.fhw.mean - first.fhw.mean).abs() < 0.01);
+        assert!((last.puf_entropy - first.puf_entropy).abs() < 0.05);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let err = Assessment::from_records(&[], &protocol()).unwrap_err();
+        assert_eq!(err, AssessError::Empty);
+        assert!(err.to_string().contains("no records"));
+    }
+
+    #[test]
+    fn single_device_is_rejected() {
+        let dataset = small_campaign(1, 1, 53);
+        let err = Assessment::from_dataset(&dataset, &protocol()).unwrap_err();
+        assert!(matches!(err, AssessError::TooFewDevices { devices: 1 }));
+    }
+
+    #[test]
+    fn device_missing_its_reference_window_is_reported() {
+        use pufbits::BitVec;
+        use puftestbed::{CalendarDate, Record, Timestamp};
+        // Device 0 present in both months; device 1 only appears in month 2
+        // and therefore has no month-zero reference.
+        let at = |y: i32, m: u8| Timestamp::from_date(CalendarDate::new(y, m, 8));
+        let records = vec![
+            Record::new(BoardId(0), 0, at(2017, 2), BitVec::from_bytes(&[1])),
+            Record::new(BoardId(0), 500_000, at(2017, 3), BitVec::from_bytes(&[1])),
+            Record::new(BoardId(1), 500_000, at(2017, 3), BitVec::from_bytes(&[2])),
+        ];
+        let err = Assessment::from_records(
+            &records,
+            &EvaluationProtocol {
+                reads_per_window: 1,
+                ..EvaluationProtocol::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, AssessError::MissingReference { device: BoardId(1) });
+        assert!(err.to_string().contains("month-zero"));
+    }
+
+    #[test]
+    fn round_trip_through_json_store_preserves_assessment() {
+        use puftestbed::store::{read_json_lines, JsonLinesSink, RecordSink};
+        let dataset = small_campaign(2, 3, 54);
+        let direct = Assessment::from_dataset(&dataset, &protocol()).unwrap();
+
+        let mut sink = JsonLinesSink::new(Vec::new());
+        for r in dataset.records() {
+            sink.record(r).unwrap();
+        }
+        let bytes = sink.into_inner().unwrap();
+        let records: Vec<_> = read_json_lines(bytes.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let replayed = Assessment::from_records(&records, &protocol()).unwrap();
+        assert_eq!(direct, replayed);
+    }
+}

@@ -1,0 +1,280 @@
+//! Estimating the hidden-variable model from measured data.
+//!
+//! The forward direction (model → metrics) lives in `sramcell`; this module
+//! inverts it in the spirit of the paper's ref \[18\] (Maes, CHES 2013): from
+//! a window of repeated power-ups, recover the mismatch population
+//! `(mu, sigma)` of the device under test.
+//!
+//! Two sample statistics identify the two parameters:
+//!
+//! * the **mean one-probability** (the FHW) estimates
+//!   `E[p] = Phi(mu / sqrt(1 + sigma²))`;
+//! * the **unstable-cell mass** `(2/n) Σ p̂ᵢ(1 − p̂ᵢ)` estimates
+//!   `E[2p(1−p)]` — the expected within-class Hamming distance.
+//!
+//! The pair is inverted with the forward calibrator
+//! ([`sramcell::calibrate::to_targets`]), which solves exactly the same two
+//! equations in the model → parameters direction. This pairing is
+//! well-conditioned for the wide populations real SRAM exhibits: the
+//! unstable mass scales like `1/sigma`, unlike sign-based statistics whose
+//! information about `sigma` collapses as `sigma` grows.
+//!
+//! Estimating `p(1−p)` from `N` reads has a known finite-sample bias
+//! (`E[p̂(1−p̂)] = p(1−p)·(1 − 1/N)`), corrected by the `N/(N−1)` factor in
+//! [`fit_population`].
+
+use pufbits::OnesCounter;
+use sramcell::calibrate::{to_targets, CalibrateError};
+use sramcell::PopulationModel;
+use std::error::Error;
+use std::fmt;
+
+/// Error from the population fit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// The window carries too little information for the statistics to be
+    /// formed (no reads, no cells, or fully saturated probabilities).
+    Degenerate(String),
+    /// The statistics are inconsistent with any Gaussian population.
+    Inconsistent(CalibrateError),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::Degenerate(msg) => write!(f, "cannot fit population: {msg}"),
+            FitError::Inconsistent(e) => {
+                write!(f, "statistics fit no gaussian population: {e}")
+            }
+        }
+    }
+}
+
+impl Error for FitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FitError::Inconsistent(e) => Some(e),
+            FitError::Degenerate(_) => None,
+        }
+    }
+}
+
+/// Fits the mismatch population from per-cell one-probabilities (assumed
+/// exact, i.e. already corrected for sampling bias).
+///
+/// # Errors
+///
+/// Returns [`FitError`] if fewer than two cells are given, the statistics
+/// saturate (all cells fully stable), or no Gaussian population matches.
+///
+/// # Examples
+///
+/// ```
+/// use pufassess::fit::fit_from_probabilities;
+/// use pufstats::normal::phi;
+///
+/// // Synthesize probabilities from a known population m ~ N(2, 6²).
+/// let probs: Vec<f64> = (0..20_000)
+///     .map(|i| {
+///         let z = (i as f64 / 20_000.0 - 0.5) * 8.0; // uniform grid ±4σ
+///         phi(2.0 + 6.0 * z)
+///     })
+///     .collect();
+/// let pop = fit_from_probabilities(&probs)?;
+/// assert!(pop.sigma > 1.0);
+/// # Ok::<(), pufassess::fit::FitError>(())
+/// ```
+pub fn fit_from_probabilities(probabilities: &[f64]) -> Result<PopulationModel, FitError> {
+    if probabilities.len() < 2 {
+        return Err(FitError::Degenerate(format!(
+            "need at least two cells, got {}",
+            probabilities.len()
+        )));
+    }
+    let n = probabilities.len() as f64;
+    let fhw = probabilities.iter().sum::<f64>() / n;
+    let wchd = probabilities.iter().map(|&p| 2.0 * p * (1.0 - p)).sum::<f64>() / n;
+    fit_from_statistics(fhw, wchd)
+}
+
+/// Fits the mismatch population from a window's streaming one-counts,
+/// applying the `N/(N−1)` sampling-bias correction to the unstable mass.
+///
+/// # Errors
+///
+/// Returns [`FitError`] under the conditions of
+/// [`fit_from_probabilities`], or if the counter holds fewer than two
+/// observations (the bias correction needs `N ≥ 2`).
+pub fn fit_population(counter: &OnesCounter) -> Result<PopulationModel, FitError> {
+    let reads = counter.observations();
+    if reads < 2 {
+        return Err(FitError::Degenerate(format!(
+            "need at least two reads, got {reads}"
+        )));
+    }
+    let probabilities = counter.one_probabilities();
+    let n = probabilities.len() as f64;
+    let fhw = probabilities.iter().sum::<f64>() / n;
+    let raw_wchd =
+        probabilities.iter().map(|&p| 2.0 * p * (1.0 - p)).sum::<f64>() / n;
+    let correction = f64::from(reads) / f64::from(reads - 1);
+    fit_from_statistics(fhw, raw_wchd * correction)
+}
+
+fn fit_from_statistics(fhw: f64, wchd: f64) -> Result<PopulationModel, FitError> {
+    if !(fhw > 0.0 && fhw < 1.0) {
+        return Err(FitError::Degenerate(format!(
+            "mean one-probability {fhw} outside the open unit interval"
+        )));
+    }
+    if wchd <= 0.0 {
+        return Err(FitError::Degenerate(
+            "no unstable cells observed; sigma is unidentifiable".to_string(),
+        ));
+    }
+    to_targets(fhw, wchd.min(0.499)).map_err(FitError::Inconsistent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pufbits::OnesCounter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sramcell::{Environment, SramArray, TechnologyProfile};
+
+    /// The atmega profile with the device-level offset disabled, so the
+    /// estimator's recovery target is exactly the manufacturing population.
+    fn no_device_spread() -> TechnologyProfile {
+        TechnologyProfile {
+            device_bias_sigma: 0.0,
+            ..TechnologyProfile::atmega32u4()
+        }
+    }
+
+    #[test]
+    fn recovers_the_atmega_population_from_reads() {
+        let profile = no_device_spread();
+        let mut rng = StdRng::seed_from_u64(180);
+        let sram = SramArray::generate(&profile, 32_768, &mut rng);
+        let env = Environment::nominal(&profile);
+        let mut counter = OnesCounter::new(sram.len());
+        for _ in 0..1000 {
+            counter.add(&sram.power_up(&env, &mut rng)).unwrap();
+        }
+        let fitted = fit_population(&counter).unwrap();
+        let truth = profile.population;
+        assert!(
+            (fitted.mu / truth.mu - 1.0).abs() < 0.15,
+            "mu {} vs {}",
+            fitted.mu,
+            truth.mu
+        );
+        assert!(
+            (fitted.sigma / truth.sigma - 1.0).abs() < 0.15,
+            "sigma {} vs {}",
+            fitted.sigma,
+            truth.sigma
+        );
+        // The fitted model reproduces the device's own headline metric.
+        assert!(
+            (fitted.expected_wchd() - 0.0249).abs() < 0.003,
+            "wchd {}",
+            fitted.expected_wchd()
+        );
+    }
+
+    #[test]
+    fn recovers_exact_probabilities_without_sampling_noise() {
+        let profile = no_device_spread();
+        let mut rng = StdRng::seed_from_u64(181);
+        let sram = SramArray::generate(&profile, 100_000, &mut rng);
+        let env = Environment::nominal(&profile);
+        let fitted = fit_from_probabilities(&sram.one_probabilities(&env)).unwrap();
+        let truth = profile.population;
+        assert!(
+            (fitted.mu / truth.mu - 1.0).abs() < 0.10,
+            "mu {} vs {}",
+            fitted.mu,
+            truth.mu
+        );
+        assert!(
+            (fitted.sigma / truth.sigma - 1.0).abs() < 0.10,
+            "sigma {} vs {}",
+            fitted.sigma,
+            truth.sigma
+        );
+    }
+
+    #[test]
+    fn bias_correction_matters_for_short_windows() {
+        // With only 20 reads, the uncorrected unstable mass underestimates
+        // 2p(1−p) by 5 %; the corrected fit should still land close.
+        let profile = no_device_spread();
+        let mut rng = StdRng::seed_from_u64(182);
+        let sram = SramArray::generate(&profile, 65_536, &mut rng);
+        let env = Environment::nominal(&profile);
+        let mut counter = OnesCounter::new(sram.len());
+        for _ in 0..20 {
+            counter.add(&sram.power_up(&env, &mut rng)).unwrap();
+        }
+        let fitted = fit_population(&counter).unwrap();
+        assert!(
+            (fitted.expected_wchd() - 0.0249).abs() < 0.004,
+            "wchd {}",
+            fitted.expected_wchd()
+        );
+    }
+
+    #[test]
+    fn unbiased_populations_fit_near_zero_mu() {
+        let pop = PopulationModel::new(0.0, 8.0);
+        let profile = TechnologyProfile {
+            population: pop,
+            ..no_device_spread()
+        };
+        let mut rng = StdRng::seed_from_u64(183);
+        let sram = SramArray::generate(&profile, 50_000, &mut rng);
+        let env = Environment::nominal(&profile);
+        let fitted = fit_from_probabilities(&sram.one_probabilities(&env)).unwrap();
+        assert!(fitted.mu.abs() < 0.3, "mu {}", fitted.mu);
+        assert!(
+            (fitted.sigma / 8.0 - 1.0).abs() < 0.10,
+            "sigma {}",
+            fitted.sigma
+        );
+    }
+
+    #[test]
+    fn fitting_a_real_device_sees_its_own_offset() {
+        // With the device-level systematic bias enabled, the per-device fit
+        // recovers the *device's* population: mu lands within the spread of
+        // the manufacturing mean.
+        let profile = TechnologyProfile::atmega32u4();
+        let mut rng = StdRng::seed_from_u64(184);
+        let sram = SramArray::generate(&profile, 65_536, &mut rng);
+        let env = Environment::nominal(&profile);
+        let fitted = fit_from_probabilities(&sram.one_probabilities(&env)).unwrap();
+        let spread = 4.0 * profile.device_bias_sigma + 0.5;
+        assert!(
+            (fitted.mu - profile.population.mu).abs() < spread,
+            "mu {} vs manufacturing {} ± {spread}",
+            fitted.mu,
+            profile.population.mu
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(matches!(
+            fit_from_probabilities(&[0.9]),
+            Err(FitError::Degenerate(_))
+        ));
+        // Fully saturated cells: sigma unidentifiable.
+        let err = fit_from_probabilities(&[1.0, 1.0, 0.0]).unwrap_err();
+        assert!(matches!(err, FitError::Degenerate(_)));
+        assert!(err.to_string().contains("unidentifiable"));
+        let empty = OnesCounter::new(10);
+        assert!(fit_population(&empty).is_err());
+    }
+}

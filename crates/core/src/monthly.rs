@@ -1,0 +1,208 @@
+//! The monthly selection rule of §IV-B.
+//!
+//! "We select the first 1 000 consecutive measurements after midnight on the
+//! 8th of each month for each SRAM chip." This module implements exactly
+//! that filter over a campaign record stream.
+
+use pufbits::{BitMatrix, BitVec, OnesCounter};
+use puftestbed::{BoardId, Record, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parameters of the paper's evaluation protocol.
+///
+/// # Examples
+///
+/// ```
+/// let p = pufassess::EvaluationProtocol::default();
+/// assert_eq!(p.reads_per_window, 1000);
+/// assert_eq!(p.eval_day, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvaluationProtocol {
+    /// Consecutive measurements per monthly window (paper: 1 000).
+    pub reads_per_window: u32,
+    /// Day of month whose midnight opens each window (paper: the 8th).
+    pub eval_day: u8,
+}
+
+impl Default for EvaluationProtocol {
+    fn default() -> Self {
+        Self {
+            reads_per_window: 1000,
+            eval_day: 8,
+        }
+    }
+}
+
+/// One device's selected window for one month: the streaming one-counts,
+/// the first read-out (the month's reference for BCHD/PUF entropy), and the
+/// accumulated FHD-vs-reference samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthlyWindow {
+    /// The measured device.
+    pub device: BoardId,
+    /// Month key `(year, month)` of the window.
+    pub year_month: (i32, u8),
+    /// Per-cell one-counts over the window.
+    pub counter: OnesCounter,
+    /// The first read-out of the window.
+    pub first_read: BitVec,
+    /// Every read-out of the window (retained for WCHD against an external
+    /// reference).
+    pub readouts: BitMatrix,
+}
+
+impl MonthlyWindow {
+    /// Number of measurements captured in this window.
+    pub fn reads(&self) -> u32 {
+        self.counter.observations()
+    }
+}
+
+/// Groups a record stream into per-device, per-month windows, honouring the
+/// protocol's selection rule.
+///
+/// Records must arrive in per-device chronological order (campaign order).
+/// Only records timestamped on or after midnight of `protocol.eval_day` in
+/// their month are eligible, and only the first `reads_per_window` eligible
+/// records per device-month are taken.
+///
+/// Returns windows sorted by `(device, year, month)`.
+///
+/// # Examples
+///
+/// ```
+/// use pufassess::monthly::{select_windows, EvaluationProtocol};
+/// use puftestbed::{Campaign, CampaignConfig};
+///
+/// let config = CampaignConfig {
+///     boards: 2, sram_bits: 64, read_bits: 64, months: 1, reads_per_window: 8,
+///     ..CampaignConfig::default()
+/// };
+/// let dataset = Campaign::new(config, 1).run_in_memory();
+/// let windows = select_windows(
+///     dataset.records(),
+///     &EvaluationProtocol { reads_per_window: 8, ..EvaluationProtocol::default() },
+/// );
+/// assert_eq!(windows.len(), 2 * 2); // 2 devices × 2 months
+/// assert!(windows.iter().all(|w| w.reads() == 8));
+/// ```
+pub fn select_windows(records: &[Record], protocol: &EvaluationProtocol) -> Vec<MonthlyWindow> {
+    let mut windows: BTreeMap<(u8, i32, u8), MonthlyWindow> = BTreeMap::new();
+    for record in records {
+        let dt = record.timestamp.datetime();
+        // Eligibility: at or after midnight of the evaluation day.
+        if dt.date.day < protocol.eval_day {
+            continue;
+        }
+        let key = (record.device.0, dt.date.year, dt.date.month);
+        let window = windows.entry(key).or_insert_with(|| MonthlyWindow {
+            device: record.device,
+            year_month: (dt.date.year, dt.date.month),
+            counter: OnesCounter::new(record.data.len()),
+            first_read: record.data.clone(),
+            readouts: BitMatrix::new(record.data.len()),
+        });
+        if window.reads() >= protocol.reads_per_window {
+            continue;
+        }
+        window
+            .counter
+            .add(&record.data)
+            .expect("records of one device share a width");
+        window
+            .readouts
+            .push_row(record.data.clone())
+            .expect("records of one device share a width");
+    }
+    windows.into_values().collect()
+}
+
+/// Convenience: the month keys present in a set of windows, in order.
+pub fn month_keys(windows: &[MonthlyWindow]) -> Vec<(i32, u8)> {
+    let mut keys: Vec<(i32, u8)> = windows.iter().map(|w| w.year_month).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Midnight opening the evaluation window of month `(year, month)`.
+pub fn window_open(protocol: &EvaluationProtocol, year: i32, month: u8) -> Timestamp {
+    Timestamp::from_date(puftestbed::CalendarDate::new(year, month, protocol.eval_day))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puftestbed::{CalendarDate, Record};
+
+    fn record_at(device: u8, seq: u64, date: CalendarDate, offset_s: f64, byte: u8) -> Record {
+        Record::new(
+            BoardId(device),
+            seq,
+            Timestamp::from_date(date).offset_by(offset_s),
+            BitVec::from_bytes(&[byte]),
+        )
+    }
+
+    #[test]
+    fn takes_first_n_after_midnight() {
+        let protocol = EvaluationProtocol {
+            reads_per_window: 2,
+            eval_day: 8,
+        };
+        let date = CalendarDate::new(2017, 2, 8);
+        let records = vec![
+            record_at(0, 0, date, 0.0, 0x01),
+            record_at(0, 1, date, 5.4, 0x02),
+            record_at(0, 2, date, 10.8, 0x04), // beyond the window
+        ];
+        let windows = select_windows(&records, &protocol);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].reads(), 2);
+        assert_eq!(windows[0].first_read, BitVec::from_bytes(&[0x01]));
+        assert_eq!(windows[0].readouts.rows(), 2);
+    }
+
+    #[test]
+    fn records_before_the_eval_day_are_ignored() {
+        let protocol = EvaluationProtocol::default();
+        let records = vec![
+            record_at(0, 0, CalendarDate::new(2017, 2, 7), 0.0, 0xFF),
+            record_at(0, 1, CalendarDate::new(2017, 2, 8), 0.0, 0x0F),
+        ];
+        let windows = select_windows(&records, &protocol);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].first_read, BitVec::from_bytes(&[0x0F]));
+    }
+
+    #[test]
+    fn records_later_in_the_month_still_belong_to_it() {
+        // The rule is "after midnight on the 8th" — the 20th qualifies.
+        let protocol = EvaluationProtocol::default();
+        let records = vec![record_at(0, 0, CalendarDate::new(2017, 2, 20), 0.0, 0xAA)];
+        let windows = select_windows(&records, &protocol);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].year_month, (2017, 2));
+    }
+
+    #[test]
+    fn devices_and_months_are_kept_separate() {
+        let protocol = EvaluationProtocol::default();
+        let records = vec![
+            record_at(0, 0, CalendarDate::new(2017, 2, 8), 0.0, 1),
+            record_at(1, 0, CalendarDate::new(2017, 2, 8), 2.7, 2),
+            record_at(0, 448_000, CalendarDate::new(2017, 3, 8), 0.0, 3),
+        ];
+        let windows = select_windows(&records, &protocol);
+        assert_eq!(windows.len(), 3);
+        let keys = month_keys(&windows);
+        assert_eq!(keys, vec![(2017, 2), (2017, 3)]);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_windows() {
+        assert!(select_windows(&[], &EvaluationProtocol::default()).is_empty());
+    }
+}

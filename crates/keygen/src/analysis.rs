@@ -1,0 +1,166 @@
+//! Analytic failure-rate analysis of the key-generation scheme.
+//!
+//! The paper's §II-A1 argues SRAM PUF keys remain safe because error
+//! correction absorbs bit error rates far above the measured WCHD (even the
+//! end-of-life worst case of 3.25 %). This module quantifies that margin
+//! for the implemented Golay ⊗ repetition concatenation, assuming i.i.d.
+//! bit errors at rate `ber`.
+
+use crate::ecc::Repetition;
+
+/// Probability that one Golay block (23 repetition groups) fails to decode
+/// to the right message: at least 4 group-majority errors.
+///
+/// Conservative in both directions' spirit: a perfect code miscorrects
+/// (rather than flags) ≥4-error patterns, and the extractor's key check
+/// converts miscorrection into detected failure.
+///
+/// # Panics
+///
+/// Panics if `repetition` is even/zero or `ber` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use pufkeygen::analysis::golay_block_failure;
+///
+/// // At the paper's end-of-life worst case (3.25 % BER) with repetition 5,
+/// // a block fails with probability below 1e-8.
+/// let p = golay_block_failure(0.0325, 5);
+/// assert!(p < 1e-8, "{p}");
+/// ```
+pub fn golay_block_failure(ber: f64, repetition: usize) -> f64 {
+    let rep = Repetition::new(repetition).expect("odd repetition");
+    let group_error = rep.block_error_probability(ber);
+    // P(#group errors ≥ 4 of 23).
+    let n = 23;
+    let mut tail = 0.0;
+    for k in 4..=n {
+        tail += binomial(n, k)
+            * group_error.powi(k as i32)
+            * (1.0 - group_error).powi((n - k) as i32);
+    }
+    tail
+}
+
+/// Probability that a whole key reconstruction fails: any of the
+/// `ceil(secret_bits / 12)` Golay blocks failing.
+///
+/// # Panics
+///
+/// Panics if `secret_bits == 0` or the other arguments are invalid.
+///
+/// # Examples
+///
+/// ```
+/// use pufkeygen::analysis::key_failure_probability;
+///
+/// let p128 = key_failure_probability(0.0325, 5, 128);
+/// assert!(p128 < 1e-7);
+/// // The paper's §II-A1 envelope: codes exist up to 25 % BER; this compact
+/// // concatenation is already unreliable there, showing why stronger codes
+/// // are needed at such rates.
+/// assert!(key_failure_probability(0.25, 5, 128) > 0.5);
+/// ```
+pub fn key_failure_probability(ber: f64, repetition: usize, secret_bits: usize) -> f64 {
+    assert!(secret_bits > 0, "need at least one secret bit");
+    let blocks = secret_bits.div_ceil(12) as i32;
+    1.0 - (1.0 - golay_block_failure(ber, repetition)).powi(blocks)
+}
+
+/// Largest i.i.d. BER at which a 128-bit key still reconstructs with
+/// failure probability below `target` — the scheme's *correction boundary*,
+/// found by bisection.
+///
+/// # Panics
+///
+/// Panics if `target` is not in `(0, 1)` or `repetition` is invalid.
+pub fn ber_margin(repetition: usize, target: f64) -> f64 {
+    assert!(target > 0.0 && target < 1.0, "target out of range");
+    let (mut lo, mut hi) = (0.0f64, 0.5f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if key_failure_probability(mid, repetition, 128) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_probability_is_monotone_in_ber() {
+        let probs: Vec<f64> = [0.01, 0.03, 0.06, 0.10, 0.20]
+            .iter()
+            .map(|&b| key_failure_probability(b, 5, 128))
+            .collect();
+        for w in probs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn longer_repetition_extends_the_margin() {
+        let m3 = ber_margin(3, 1e-6);
+        let m5 = ber_margin(5, 1e-6);
+        let m7 = ber_margin(7, 1e-6);
+        assert!(m3 < m5 && m5 < m7, "{m3} {m5} {m7}");
+        // The paper-dimensioned rep-5 margin sits comfortably above the
+        // end-of-life worst-case WCHD of 3.25 %.
+        assert!(m5 > 0.05, "rep-5 margin {m5}");
+    }
+
+    #[test]
+    fn zero_ber_never_fails() {
+        assert_eq!(key_failure_probability(0.0, 5, 128), 0.0);
+        assert_eq!(golay_block_failure(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn analytic_failure_matches_monte_carlo_at_high_ber() {
+        use crate::ecc::{encode_blocks, decode_blocks, Concatenated, Golay, Repetition};
+        use pufbits::BitVec;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Pick a BER where failures are common enough to measure.
+        let ber = 0.12;
+        let code = Concatenated::new(Golay::new(), Repetition::new(3).unwrap());
+        let mut rng = StdRng::seed_from_u64(160);
+        let trials = 3000;
+        let mut failures = 0u32;
+        let msg = BitVec::from_bits((0..12).map(|_| rng.gen::<bool>()));
+        let word = encode_blocks(&code, &msg);
+        for _ in 0..trials {
+            let mut noisy = word.clone();
+            for i in 0..noisy.len() {
+                if rng.gen::<f64>() < ber {
+                    noisy.set(i, !noisy.get(i).unwrap());
+                }
+            }
+            match decode_blocks(&code, &noisy, 12) {
+                Ok(decoded) if decoded == msg => {}
+                _ => failures += 1,
+            }
+        }
+        let measured = f64::from(failures) / f64::from(trials);
+        let predicted = golay_block_failure(ber, 3);
+        assert!(
+            (measured - predicted).abs() < 0.03,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Debiasing of biased PUF responses (the paper's ref \[14\]).
+//!
+//! The paper measures a fractional Hamming weight of 60–70 % — the SRAM
+//! prefers `1`. A code-offset extractor built directly on such a response
+//! leaks key information through the helper data. *Index-based pair
+//! selection* (a von-Neumann-style scheme in the spirit of Maes et al.,
+//! CHES 2015) fixes this at enrollment time: the response is scanned in
+//! non-overlapping pairs, and only pairs whose two bits differ contribute
+//! (their first bit). The selection mask becomes public helper data; because
+//! a `01` pair is exactly as likely as a `10` pair, the selected bits are
+//! unbiased, and the mask itself reveals nothing about their values.
+
+use pufbits::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// The enrollment-time output of pair-selection debiasing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DebiasSelection {
+    /// Mask over the original response: ones mark the *first bit* of every
+    /// selected (differing) pair. Public helper data.
+    pub mask: BitVec,
+    /// The debiased bits, one per selected pair.
+    pub bits: BitVec,
+}
+
+/// Runs pair-selection debiasing over an enrollment response.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use pufkeygen::debias::enroll_debias;
+///
+/// //                              pair:  (1,1)  (0,1)  (1,0)  (0,0)
+/// let response = BitVec::from_bits([true, true, false, true, true, false, false, false]);
+/// let sel = enroll_debias(&response);
+/// assert_eq!(sel.bits, BitVec::from_bits([false, true]));
+/// assert_eq!(sel.mask.count_ones(), 2);
+/// ```
+pub fn enroll_debias(response: &BitVec) -> DebiasSelection {
+    let mut mask = BitVec::zeros(response.len());
+    let mut bits = BitVec::new();
+    let pairs = response.len() / 2;
+    for p in 0..pairs {
+        let a = response.get(2 * p).expect("in range");
+        let b = response.get(2 * p + 1).expect("in range");
+        if a != b {
+            mask.set(2 * p, true);
+            bits.push(a);
+        }
+    }
+    DebiasSelection { mask, bits }
+}
+
+/// Re-extracts the debiased bits from a later (noisy) response using the
+/// enrollment mask: the bit at each marked position is taken as-is.
+///
+/// Noise on either bit of a selected pair can flip the extracted bit; the
+/// error-correcting layer above absorbs that (the effective bit error rate
+/// roughly matches the raw response's).
+///
+/// # Panics
+///
+/// Panics if the mask length does not match the response.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use pufkeygen::debias::{enroll_debias, reconstruct_debias};
+///
+/// let response = BitVec::from_bits([false, true, true, true]);
+/// let sel = enroll_debias(&response);
+/// let again = reconstruct_debias(&response, &sel.mask);
+/// assert_eq!(again, sel.bits);
+/// ```
+pub fn reconstruct_debias(response: &BitVec, mask: &BitVec) -> BitVec {
+    assert_eq!(
+        response.len(),
+        mask.len(),
+        "mask length {} does not match response {}",
+        mask.len(),
+        response.len()
+    );
+    response.select(mask)
+}
+
+/// Expected debiased yield per input bit for a response with one-probability
+/// `p`: a pair differs with probability `2p(1−p)`, contributing one bit per
+/// two input bits.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// // At the paper's 62.7 % bias, about 23 % of input bits survive.
+/// let y = pufkeygen::debias::expected_yield(0.627);
+/// assert!((y - 0.2337).abs() < 1e-3);
+/// ```
+pub fn expected_yield(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn biased_response(n: usize, p: f64, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() < p).collect()
+    }
+
+    #[test]
+    fn output_is_unbiased_even_for_biased_input() {
+        let response = biased_response(200_000, 0.627, 90);
+        let sel = enroll_debias(&response);
+        let fhw = sel.bits.fractional_hamming_weight();
+        assert!((fhw - 0.5).abs() < 0.01, "debiased fhw {fhw}");
+    }
+
+    #[test]
+    fn yield_matches_prediction() {
+        let p = 0.627;
+        let response = biased_response(100_000, p, 91);
+        let sel = enroll_debias(&response);
+        let measured = sel.bits.len() as f64 / response.len() as f64;
+        assert!((measured - expected_yield(p)).abs() < 0.01);
+    }
+
+    #[test]
+    fn mask_marks_exactly_the_selected_pairs() {
+        let response = biased_response(1000, 0.5, 92);
+        let sel = enroll_debias(&response);
+        assert_eq!(sel.mask.count_ones(), sel.bits.len());
+        // Every marked index is even (first bit of a pair).
+        for i in 0..sel.mask.len() {
+            if sel.mask.get(i) == Some(true) {
+                assert_eq!(i % 2, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_exact_without_noise() {
+        let response = biased_response(4096, 0.627, 93);
+        let sel = enroll_debias(&response);
+        assert_eq!(reconstruct_debias(&response, &sel.mask), sel.bits);
+    }
+
+    #[test]
+    fn noise_propagates_at_comparable_rate() {
+        let response = biased_response(100_000, 0.627, 94);
+        let sel = enroll_debias(&response);
+        // Flip 3 % of the raw response.
+        let mut rng = StdRng::seed_from_u64(95);
+        let mut noisy = response.clone();
+        for i in 0..noisy.len() {
+            if rng.gen::<f64>() < 0.03 {
+                noisy.set(i, !noisy.get(i).unwrap());
+            }
+        }
+        let bits = reconstruct_debias(&noisy, &sel.mask);
+        let ber = bits.fractional_hamming_distance(&sel.bits);
+        // Only the first bit of each pair is re-read, so the debiased BER
+        // tracks the raw BER.
+        assert!((0.01..=0.06).contains(&ber), "debiased ber {ber}");
+    }
+
+    #[test]
+    fn odd_length_responses_drop_the_last_bit() {
+        let response = BitVec::from_bits([true, false, true]);
+        let sel = enroll_debias(&response);
+        assert_eq!(sel.bits.len(), 1);
+        assert_eq!(sel.mask.len(), 3);
+    }
+}

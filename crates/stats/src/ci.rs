@@ -1,0 +1,141 @@
+//! Binomial confidence intervals.
+//!
+//! Monte-Carlo assertions throughout the workspace compare an observed
+//! proportion (e.g. a measured within-class Hamming distance) against a model
+//! prediction; Wilson intervals give the tolerance.
+
+use crate::normal::phi_inv;
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Returns `true` if `p` lies inside the interval (inclusive).
+    pub fn contains(&self, p: f64) -> bool {
+        p >= self.lo && p <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Wilson score interval for `successes` out of `n` Bernoulli trials at the
+/// given two-sided `confidence` (e.g. `0.99`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `successes > n`, or `confidence` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let ci = pufstats::ci::wilson(250, 1000, 0.95);
+/// assert!(ci.contains(0.25));
+/// assert!(ci.width() < 0.06);
+/// ```
+pub fn wilson(successes: u64, n: u64, confidence: f64) -> Interval {
+    assert!(n > 0, "wilson interval needs at least one trial");
+    assert!(successes <= n, "successes {successes} exceeds trials {n}");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1), got {confidence}"
+    );
+    let z = phi_inv(0.5 + confidence / 2.0);
+    let nf = n as f64;
+    let p_hat = successes as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p_hat + z2 / (2.0 * nf)) / denom;
+    let half = z * (p_hat * (1.0 - p_hat) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+    // The Wilson bounds are exactly 0/1 at the extremes; pin them so floating
+    // point cannot exclude the boundary proportion.
+    Interval {
+        lo: if successes == 0 { 0.0 } else { (center - half).max(0.0) },
+        hi: if successes == n { 1.0 } else { (center + half).min(1.0) },
+    }
+}
+
+/// Normal-approximation interval for the mean of `n` observations with
+/// sample mean `mean` and sample standard deviation `sd`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `sd < 0`, or `confidence` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let ci = pufstats::ci::mean_interval(0.5, 0.1, 100, 0.95);
+/// assert!(ci.contains(0.5));
+/// ```
+pub fn mean_interval(mean: f64, sd: f64, n: u64, confidence: f64) -> Interval {
+    assert!(n > 0, "mean interval needs at least one observation");
+    assert!(sd >= 0.0, "standard deviation must be non-negative");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1), got {confidence}"
+    );
+    let z = phi_inv(0.5 + confidence / 2.0);
+    let half = z * sd / (n as f64).sqrt();
+    Interval {
+        lo: mean - half,
+        hi: mean + half,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_covers_true_proportion() {
+        let ci = wilson(500, 1000, 0.99);
+        assert!(ci.contains(0.5));
+        assert!(!ci.contains(0.6));
+    }
+
+    #[test]
+    fn wilson_is_clamped_to_unit_interval() {
+        let lo = wilson(0, 10, 0.99);
+        let hi = wilson(10, 10, 0.99);
+        assert!(lo.lo >= 0.0);
+        assert!(hi.hi <= 1.0);
+        assert!(lo.contains(0.0));
+        assert!(hi.contains(1.0));
+    }
+
+    #[test]
+    fn wilson_narrows_with_sample_size() {
+        let small = wilson(5, 10, 0.95);
+        let large = wilson(5000, 10_000, 0.95);
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        wilson(0, 0, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds trials")]
+    fn wilson_rejects_impossible_successes() {
+        wilson(11, 10, 0.95);
+    }
+
+    #[test]
+    fn mean_interval_scales_with_sd() {
+        let tight = mean_interval(0.0, 0.1, 100, 0.95);
+        let wide = mean_interval(0.0, 1.0, 100, 0.95);
+        assert!(wide.width() > tight.width() * 9.0);
+    }
+}

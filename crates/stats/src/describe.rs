@@ -1,0 +1,229 @@
+//! Streaming descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Streaming accumulator for descriptive statistics (Welford's algorithm).
+///
+/// Numerically stable for millions of observations — the scale at which the
+/// long-term campaign produces fractional-Hamming-distance samples.
+///
+/// # Examples
+///
+/// ```
+/// use pufstats::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.add(x);
+/// }
+/// let s = acc.summary();
+/// assert_eq!(s.n, 4);
+/// assert!((s.mean - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Merges another accumulator (parallel Welford combination).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Finalizes into a [`Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations were added.
+    pub fn summary(&self) -> Summary {
+        assert!(self.n > 0, "summary of an empty accumulator");
+        let variance = if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n: self.n,
+            mean: self.mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Descriptive statistics of a sample.
+///
+/// Produced by [`Accumulator::summary`] or [`Summary::of`].
+///
+/// # Examples
+///
+/// ```
+/// let s = pufstats::Summary::of([0.0, 1.0]);
+/// assert_eq!(s.min, 0.0);
+/// assert_eq!(s.max, 1.0);
+/// assert!((s.std_dev - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Square root of the variance.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes an iterator of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty.
+    pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        values.into_iter().collect::<Accumulator>().summary()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} max={:.6}",
+            self.n, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance with n-1: 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let s = Summary::of([3.5]);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty accumulator")]
+    fn empty_summary_panics() {
+        Accumulator::new().summary();
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let seq: Accumulator = all.iter().copied().collect();
+        let mut a: Accumulator = all[..37].iter().copied().collect();
+        let b: Accumulator = all[37..].iter().copied().collect();
+        a.merge(&b);
+        let (s1, s2) = (seq.summary(), a.summary());
+        assert_eq!(s1.n, s2.n);
+        assert!((s1.mean - s2.mean).abs() < 1e-12);
+        assert!((s1.variance - s2.variance).abs() < 1e-12);
+        assert_eq!(s1.min, s2.min);
+        assert_eq!(s1.max, s2.max);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: Accumulator = [1.0, 2.0].into_iter().collect();
+        a.merge(&Accumulator::new());
+        assert_eq!(a.len(), 2);
+        let mut e = Accumulator::new();
+        e.merge(&a);
+        assert_eq!(e.summary().n, 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Summary::of([1.0]).to_string().is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! Fixed-bin histograms with ASCII rendering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fixed-bin histogram over a half-open range `[lo, hi)`.
+///
+/// Used to reproduce the paper's Fig. 5 (fractional Hamming distance /
+/// Hamming weight distributions over 16 devices). Out-of-range samples are
+/// clamped into the first/last bin and counted separately so no data is
+/// silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use pufstats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 10);
+/// for x in [0.05, 0.15, 0.15, 0.95] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.total(), 4);
+/// assert!((h.percent(1) - 50.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    clamped_low: u64,
+    clamped_high: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `lo >= hi`, or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range [{lo}, {hi})"
+        );
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            clamped_low: 0,
+            clamped_high: 0,
+        }
+    }
+
+    /// Adds one sample. Samples below `lo` land in the first bin, samples at
+    /// or above `hi` in the last; both are also tallied as clamped.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            self.clamped_low += 1;
+            0
+        } else if x >= self.hi {
+            self.clamped_high += 1;
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo) * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Builds a histogram directly from samples.
+    pub fn of<I: IntoIterator<Item = f64>>(lo: f64, hi: f64, bins: usize, values: I) -> Self {
+        let mut h = Self::new(lo, hi, bins);
+        for x in values {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All bin counts in order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of samples that fell outside the range (low, high).
+    pub fn clamped(&self) -> (u64, u64) {
+        (self.clamped_low, self.clamped_high)
+    }
+
+    /// Bin `i` as a percentage of all samples (the paper's Fig. 5 y-axis).
+    ///
+    /// Returns `0.0` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn percent(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.bins(), "bin index {i} out of range");
+        let w = (self.hi - self.lo) / self.bins() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins(), "bin index {i} out of range");
+        let w = (self.hi - self.lo) / self.bins() as f64;
+        (self.lo + i as f64 * w, self.lo + (i as f64 + 1.0) * w)
+    }
+
+    /// Index of the fullest bin (first one on ties); `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total() == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+
+    /// Renders an ASCII bar chart, one line per non-empty bin, scaled to
+    /// `width` characters for the fullest bin.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let h = pufstats::Histogram::of(0.0, 1.0, 4, [0.1, 0.1, 0.6]);
+    /// let art = h.render_ascii(10);
+    /// assert!(art.contains('#'));
+    /// ```
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = if max == 0 {
+                0
+            } else {
+                ((c as f64 / max as f64) * width as f64).round() as usize
+            };
+            let (lo, hi) = self.bin_edges(i);
+            out.push_str(&format!(
+                "[{lo:7.4}, {hi:7.4})  {:6.2}%  {}\n",
+                self.percent(i),
+                "#".repeat(bar.max(1)),
+            ));
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram[{}, {}) bins={} total={}",
+            self.lo,
+            self.hi,
+            self.bins(),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_expected_bins() {
+        let h = Histogram::of(0.0, 1.0, 10, [0.0, 0.05, 0.95, 0.999]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(9), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_and_are_counted() {
+        let h = Histogram::of(0.0, 1.0, 2, [-0.5, 1.5, 1.0]);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.clamped(), (1, 2));
+    }
+
+    #[test]
+    fn percent_sums_to_hundred() {
+        let h = Histogram::of(0.0, 1.0, 5, (0..50).map(|i| i as f64 / 50.0));
+        let sum: f64 = (0..5).map(|i| h.percent(i)).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_percent_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.percent(0), 0.0);
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn bin_geometry() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert_eq!(h.bin_edges(3), (0.75, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_center_bounds_checked() {
+        Histogram::new(0.0, 1.0, 4).bin_center(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_rejected() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn mode_bin_finds_fullest() {
+        let h = Histogram::of(0.0, 1.0, 4, [0.1, 0.6, 0.6, 0.9]);
+        assert_eq!(h.mode_bin(), Some(2));
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_every_nonempty_bin() {
+        let h = Histogram::of(0.0, 1.0, 4, [0.1, 0.6, 0.6]);
+        let art = h.render_ascii(20);
+        assert_eq!(art.lines().count(), 2);
+        assert!(!h.to_string().is_empty());
+    }
+}

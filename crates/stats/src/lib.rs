@@ -1,0 +1,43 @@
+//! Histograms, descriptive statistics, and entropy estimators for PUF
+//! evaluation.
+//!
+//! The long-term assessment paper reduces 175 million SRAM read-outs to a
+//! handful of statistics: fractional Hamming distance/weight histograms
+//! (Fig. 5), min-entropy of the PUF response and of its noise (Fig. 6c/6d,
+//! Table I), and monthly development series. This crate supplies the
+//! numerical machinery those reductions need, with no external math
+//! dependencies:
+//!
+//! * [`normal`] — standard-normal CDF `Phi`, its inverse, and Gaussian
+//!   sampling, used by the cell model and the calibration solver.
+//! * [`special`] — `erf`/`erfc`, `ln Γ`, and the regularized incomplete gamma
+//!   functions backing the randomness-test p-values.
+//! * [`entropy`] — min-entropy and Shannon entropy of binary sources.
+//! * [`Histogram`] — fixed-bin histograms with ASCII rendering (Fig. 5).
+//! * [`Summary`] / [`Accumulator`] — streaming descriptive statistics.
+//! * [`solve`] — bisection and Newton root finding for model calibration.
+//! * [`randtests`] — NIST SP 800-22-style statistical tests for the TRNG
+//!   evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use pufstats::{entropy, normal};
+//!
+//! // A cell with mismatch 1.5 noise-sigmas powers up to 1 with p = Phi(1.5).
+//! let p = normal::phi(1.5);
+//! let h = entropy::min_entropy_bit(p);
+//! assert!(h > 0.0 && h < 1.0);
+//! ```
+
+pub mod ci;
+mod describe;
+pub mod entropy;
+mod histogram;
+pub mod normal;
+pub mod randtests;
+pub mod solve;
+pub mod special;
+
+pub use describe::{Accumulator, Summary};
+pub use histogram::Histogram;

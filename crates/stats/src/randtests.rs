@@ -1,0 +1,903 @@
+//! NIST SP 800-22-style statistical randomness tests.
+//!
+//! Used by the TRNG evaluation (`puftrng`) to check that conditioned output
+//! from the SRAM noise source is statistically random, and — equally
+//! important — that *raw* PUF responses are **not** (they are biased and
+//! mostly static, which is why conditioning exists). The implemented subset
+//! (frequency, block frequency, runs, longest run of ones, cumulative sums)
+//! matches the tests commonly applied to PUF-based TRNGs in the literature.
+
+use crate::special::{erfc, gamma_q};
+use pufbits::BitVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Significance level below which a test is declared failed (NIST default).
+pub const ALPHA: f64 = 0.01;
+
+/// Outcome of one statistical test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// Test name, e.g. `"frequency"`.
+    pub name: String,
+    /// The test's p-value under the randomness null hypothesis.
+    pub p_value: f64,
+    /// `p_value >= ALPHA`.
+    pub passed: bool,
+}
+
+impl TestResult {
+    fn new(name: &str, p_value: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            p_value,
+            passed: p_value >= ALPHA,
+        }
+    }
+}
+
+impl fmt::Display for TestResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} p={:.4} {}",
+            self.name,
+            self.p_value,
+            if self.passed { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Error returned when a test is given too few bits to be meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientBitsError {
+    /// Bits required by the test.
+    pub required: usize,
+    /// Bits actually provided.
+    pub provided: usize,
+}
+
+impl fmt::Display for InsufficientBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "test requires at least {} bits, got {}",
+            self.required, self.provided
+        )
+    }
+}
+
+impl std::error::Error for InsufficientBitsError {}
+
+/// Frequency (monobit) test: the proportion of ones should be close to 1/2.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than 100 bits.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use pufstats::randtests::frequency;
+/// let alternating: BitVec = (0..1000).map(|i| i % 2 == 0).collect();
+/// assert!(frequency(&alternating)?.passed);
+/// # Ok::<(), pufstats::randtests::InsufficientBitsError>(())
+/// ```
+pub fn frequency(bits: &BitVec) -> Result<TestResult, InsufficientBitsError> {
+    require(bits, 100)?;
+    Ok(TestResult::new("frequency", frequency_p(bits)))
+}
+
+fn frequency_p(bits: &BitVec) -> f64 {
+    let n = bits.len() as f64;
+    let s = 2.0 * bits.count_ones() as f64 - n; // sum of ±1
+    let s_obs = s.abs() / n.sqrt();
+    erfc(s_obs / std::f64::consts::SQRT_2)
+}
+
+/// Block frequency test with block length `m`: within-block proportions of
+/// ones should each be close to 1/2.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] if fewer than one full block fits.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn block_frequency(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsError> {
+    assert!(m > 0, "block length must be positive");
+    require(bits, m)?;
+    let n_blocks = bits.len() / m;
+    let mut chi2 = 0.0;
+    for b in 0..n_blocks {
+        let ones = (0..m)
+            .filter(|&i| bits.get(b * m + i) == Some(true))
+            .count();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5).powi(2);
+    }
+    chi2 *= 4.0 * m as f64;
+    Ok(TestResult::new(
+        "block_frequency",
+        gamma_q(n_blocks as f64 / 2.0, chi2 / 2.0),
+    ))
+}
+
+/// Runs test: the number of maximal runs of identical bits should match the
+/// expectation for an unbiased source.
+///
+/// Per SP 800-22, the test is only applicable when the monobit proportion is
+/// itself near 1/2; otherwise the p-value is reported as `0.0`.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than 100 bits.
+pub fn runs(bits: &BitVec) -> Result<TestResult, InsufficientBitsError> {
+    require(bits, 100)?;
+    Ok(TestResult::new("runs", runs_p(bits)))
+}
+
+fn runs_p(bits: &BitVec) -> f64 {
+    let n = bits.len() as f64;
+    let pi = bits.count_ones() as f64 / n;
+    // Prerequisite frequency check (SP 800-22 §2.3.4).
+    if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
+        return 0.0;
+    }
+    let mut v = 1u64;
+    for i in 1..bits.len() {
+        if bits.get(i) != bits.get(i - 1) {
+            v += 1;
+        }
+    }
+    let num = (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
+    erfc(num / den)
+}
+
+/// Longest-run-of-ones test with 8-bit blocks (the SP 800-22 `M = 8`
+/// parameterization, valid for 128 ≤ n < 6272).
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than 128 bits.
+pub fn longest_run(bits: &BitVec) -> Result<TestResult, InsufficientBitsError> {
+    require(bits, 128)?;
+    const M: usize = 8;
+    // Class probabilities for M = 8: longest run <=1, ==2, ==3, >=4.
+    const PI: [f64; 4] = [0.2148, 0.3672, 0.2305, 0.1875];
+    let n_blocks = bits.len() / M;
+    let mut counts = [0u64; 4];
+    for b in 0..n_blocks {
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for i in 0..M {
+            if bits.get(b * M + i) == Some(true) {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let class = match longest {
+            0 | 1 => 0,
+            2 => 1,
+            3 => 2,
+            _ => 3,
+        };
+        counts[class] += 1;
+    }
+    let nf = n_blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(PI)
+        .map(|(&c, p)| (c as f64 - nf * p).powi(2) / (nf * p))
+        .sum();
+    Ok(TestResult::new(
+        "longest_run",
+        gamma_q(3.0 / 2.0, chi2 / 2.0),
+    ))
+}
+
+/// Cumulative-sums (forward) test: the maximum excursion of the ±1 random
+/// walk should be small.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than 100 bits.
+pub fn cumulative_sums(bits: &BitVec) -> Result<TestResult, InsufficientBitsError> {
+    require(bits, 100)?;
+    let n = bits.len() as f64;
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for bit in bits.iter() {
+        s += if bit { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    let z = z as f64;
+    let sqrt_n = n.sqrt();
+    let phi = crate::normal::phi;
+    let mut p = 1.0;
+    let k_lo = ((-n / z + 1.0) / 4.0).floor() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let kf = k as f64;
+        p -= phi((4.0 * kf + 1.0) * z / sqrt_n) - phi((4.0 * kf - 1.0) * z / sqrt_n);
+    }
+    let k_lo = ((-n / z - 3.0) / 4.0).floor() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let kf = k as f64;
+        p += phi((4.0 * kf + 3.0) * z / sqrt_n) - phi((4.0 * kf + 1.0) * z / sqrt_n);
+    }
+    Ok(TestResult::new("cumulative_sums", p.clamp(0.0, 1.0)))
+}
+
+/// Serial test (SP 800-22 §2.11) with block length `m`: every `m`-bit
+/// pattern should appear equally often (overlapping windows, cyclic
+/// wrap-around). Returns the ∇ψ²ₘ p-value.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than `4·2^m`.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or larger than 16.
+pub fn serial(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsError> {
+    assert!(m >= 1 && m <= 16, "serial block length out of range: {m}");
+    require(bits, 4 << m)?;
+    let psi2 = |mm: usize| -> f64 {
+        if mm == 0 {
+            return 0.0;
+        }
+        let n = bits.len();
+        let mut counts = vec![0u64; 1 << mm];
+        let mut window = 0usize;
+        let mask = (1 << mm) - 1;
+        // Prime the first mm-1 bits (cyclic extension).
+        for i in 0..n + mm - 1 {
+            let bit = bits.get(i % n).expect("cyclic index in range");
+            window = ((window << 1) | usize::from(bit)) & mask;
+            if i >= mm - 1 {
+                counts[window] += 1;
+            }
+        }
+        let nf = n as f64;
+        counts
+            .iter()
+            .map(|&c| (c as f64) * (c as f64))
+            .sum::<f64>()
+            * (1 << mm) as f64
+            / nf
+            - nf
+    };
+    let del1 = psi2(m) - psi2(m - 1);
+    let p = gamma_q(2f64.powi(m as i32 - 2), del1 / 2.0);
+    Ok(TestResult::new("serial", p))
+}
+
+/// Approximate-entropy test (SP 800-22 §2.12) with block length `m`:
+/// compares the frequencies of overlapping `m`- and `(m+1)`-bit patterns.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than `8·2^m`.
+///
+/// # Panics
+///
+/// Panics if `m` is 0 or larger than 14.
+pub fn approximate_entropy(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsError> {
+    assert!(m >= 1 && m <= 14, "apen block length out of range: {m}");
+    require(bits, 8 << m)?;
+    let n = bits.len();
+    let phi_m = |mm: usize| -> f64 {
+        let mut counts = vec![0u64; 1 << mm];
+        let mut window = 0usize;
+        let mask = (1 << mm) - 1;
+        for i in 0..n + mm - 1 {
+            let bit = bits.get(i % n).expect("cyclic index in range");
+            window = ((window << 1) | usize::from(bit)) & mask;
+            if i >= mm - 1 {
+                counts[window] += 1;
+            }
+        }
+        let nf = n as f64;
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let pi = c as f64 / nf;
+                pi * pi.ln()
+            })
+            .sum()
+    };
+    let apen = phi_m(m) - phi_m(m + 1);
+    let chi2 = 2.0 * n as f64 * (std::f64::consts::LN_2 - apen);
+    let p = gamma_q(2f64.powi(m as i32 - 1), chi2 / 2.0);
+    Ok(TestResult::new("approximate_entropy", p))
+}
+
+/// Binary-matrix-rank test (SP 800-22 §2.5): the GF(2) ranks of disjoint
+/// 32×32 matrices built from the sequence should follow the theoretical
+/// full/deficient-rank distribution.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than 38 matrices
+/// (38 912 bits), the NIST minimum for the chi-square approximation.
+pub fn matrix_rank(bits: &BitVec) -> Result<TestResult, InsufficientBitsError> {
+    const M: usize = 32;
+    const MIN_MATRICES: usize = 38;
+    require(bits, MIN_MATRICES * M * M)?;
+    let n_matrices = bits.len() / (M * M);
+    // Asymptotic rank probabilities for random 32×32 GF(2) matrices.
+    const P_FULL: f64 = 0.288_8;
+    const P_MINUS1: f64 = 0.577_6;
+    const P_REST: f64 = 0.133_6;
+    let mut counts = [0u64; 3]; // full, full-1, lower
+    for k in 0..n_matrices {
+        let mut rows = [0u32; M];
+        for (r, row) in rows.iter_mut().enumerate() {
+            for c in 0..M {
+                if bits.get(k * M * M + r * M + c) == Some(true) {
+                    *row |= 1 << c;
+                }
+            }
+        }
+        let rank = gf2_rank(&mut rows);
+        let class = match rank {
+            32 => 0,
+            31 => 1,
+            _ => 2,
+        };
+        counts[class] += 1;
+    }
+    let nf = n_matrices as f64;
+    let chi2 = (counts[0] as f64 - P_FULL * nf).powi(2) / (P_FULL * nf)
+        + (counts[1] as f64 - P_MINUS1 * nf).powi(2) / (P_MINUS1 * nf)
+        + (counts[2] as f64 - P_REST * nf).powi(2) / (P_REST * nf);
+    Ok(TestResult::new("matrix_rank", (-chi2 / 2.0).exp()))
+}
+
+/// Rank of a bit matrix over GF(2), rows as 32-bit masks (Gaussian
+/// elimination). Exposed for reuse and direct testing.
+pub fn gf2_rank(rows: &mut [u32]) -> usize {
+    let mut rank = 0;
+    for col in 0..32 {
+        let Some(pivot) = (rank..rows.len()).find(|&r| rows[r] & (1 << col) != 0) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        for r in 0..rows.len() {
+            if r != rank && rows[r] & (1 << col) != 0 {
+                rows[r] ^= rows[rank];
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    rank
+}
+
+/// Discrete-Fourier-transform (spectral) test (SP 800-22 §2.6): the number
+/// of DFT peaks below the 95 % threshold should match the expectation for a
+/// random sequence. Detects periodic features.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than 1 000 bits.
+pub fn dft_spectral(bits: &BitVec) -> Result<TestResult, InsufficientBitsError> {
+    require(bits, 1000)?;
+    // Truncate to a power of two for the radix-2 FFT.
+    let n = 1usize << (usize::BITS - 1 - bits.len().leading_zeros());
+    let mut re: Vec<f64> = (0..n)
+        .map(|i| if bits.get(i) == Some(true) { 1.0 } else { -1.0 })
+        .collect();
+    let mut im = vec![0.0f64; n];
+    fft_in_place(&mut re, &mut im);
+    let threshold = (n as f64 * (1.0f64 / 0.05).ln()).sqrt();
+    let half = n / 2;
+    let below = (0..half)
+        .filter(|&i| (re[i] * re[i] + im[i] * im[i]).sqrt() < threshold)
+        .count() as f64;
+    let expected = 0.95 * half as f64;
+    let d = (below - expected) / (half as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    Ok(TestResult::new(
+        "dft_spectral",
+        erfc(d.abs() / std::f64::consts::SQRT_2),
+    ))
+}
+
+/// Iterative radix-2 decimation-in-time FFT over split real/imaginary
+/// arrays.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn fft_in_place(re: &mut [f64], im: &mut [f64]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "mismatched fft buffers");
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let (w_re, w_im) = (angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let (mut cur_re, mut cur_im) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (a, b) = (start + k, start + k + len / 2);
+                let t_re = re[b] * cur_re - im[b] * cur_im;
+                let t_im = re[b] * cur_im + im[b] * cur_re;
+                re[b] = re[a] - t_re;
+                im[b] = im[a] - t_im;
+                re[a] += t_re;
+                im[a] += t_im;
+                let next_re = cur_re * w_re - cur_im * w_im;
+                cur_im = cur_re * w_im + cur_im * w_re;
+                cur_re = next_re;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Linear complexity of a bit sequence: the length of the shortest LFSR
+/// generating it, via the Berlekamp–Massey algorithm over GF(2).
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use pufstats::randtests::linear_complexity_of;
+///
+/// // A maximal-length LFSR-3 sequence has linear complexity 3.
+/// let seq: BitVec = [true, false, false, true, false, true, true]
+///     .into_iter().collect();
+/// assert_eq!(linear_complexity_of(&seq), 3);
+/// ```
+pub fn linear_complexity_of(bits: &BitVec) -> usize {
+    // Berlekamp-Massey over GF(2); connection polynomials kept as Vec<u64>
+    // bit masks so block lengths beyond 128 work.
+    let n = bits.len();
+    let words = n.div_ceil(64) + 1;
+    let mut c = vec![0u64; words];
+    let mut b = vec![0u64; words];
+    c[0] = 1;
+    b[0] = 1;
+    let (mut l, mut m) = (0usize, 1usize);
+    for i in 0..n {
+        // Discrepancy d = s_i + sum_{j=1..l} c_j * s_{i-j}.
+        let mut d = u8::from(bits.get(i) == Some(true));
+        for j in 1..=l {
+            let cj = (c[j / 64] >> (j % 64)) & 1;
+            if cj == 1 && bits.get(i - j) == Some(true) {
+                d ^= 1;
+            }
+        }
+        if d == 1 {
+            let t = c.clone();
+            // c ^= b << m
+            let (word_shift, bit_shift) = (m / 64, m % 64);
+            for w in (0..words).rev() {
+                let mut v = 0u64;
+                if w >= word_shift {
+                    v = b[w - word_shift] << bit_shift;
+                    if bit_shift > 0 && w > word_shift {
+                        v |= b[w - word_shift - 1] >> (64 - bit_shift);
+                    }
+                }
+                c[w] ^= v;
+            }
+            if 2 * l <= i {
+                l = i + 1 - l;
+                b = t;
+                m = 1;
+            } else {
+                m += 1;
+            }
+        } else {
+            m += 1;
+        }
+    }
+    l
+}
+
+/// Linear-complexity test (SP 800-22 section 2.10) with 500-bit blocks: the
+/// distribution of per-block linear complexities around the expected `M/2`
+/// should match theory.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] for sequences shorter than 10 blocks
+/// (5 000 bits).
+pub fn linear_complexity(bits: &BitVec) -> Result<TestResult, InsufficientBitsError> {
+    const M: usize = 500;
+    const MIN_BLOCKS: usize = 10;
+    require(bits, M * MIN_BLOCKS)?;
+    // Class probabilities for T <= -2.5, ..., T > 2.5 (SP 800-22 section
+    // 3.10).
+    const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
+    let n_blocks = bits.len() / M;
+    // mu = M/2 + (9 + (-1)^(M+1))/36 (the 2^-M correction vanishes here).
+    let mu = M as f64 / 2.0 + (9.0 + if M % 2 == 0 { -1.0 } else { 1.0 }) / 36.0;
+    let mut counts = [0u64; 7];
+    for blk in 0..n_blocks {
+        let block: BitVec = (0..M)
+            .map(|i| bits.get(blk * M + i) == Some(true))
+            .collect();
+        let l = linear_complexity_of(&block) as f64;
+        let sign = if M % 2 == 0 { 1.0 } else { -1.0 };
+        let t = sign * (l - mu) + 2.0 / 9.0;
+        let class = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        counts[class] += 1;
+    }
+    let nf = n_blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(PI)
+        .map(|(&c, p)| (c as f64 - nf * p).powi(2) / (nf * p))
+        .sum();
+    Ok(TestResult::new(
+        "linear_complexity",
+        gamma_q(3.0, chi2 / 2.0),
+    ))
+}
+
+/// Runs the full suite on one sequence.
+///
+/// # Errors
+///
+/// Returns [`InsufficientBitsError`] if the sequence is too short for any
+/// member test (the longest minimum is 128 bits).
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use pufstats::randtests::suite;
+/// let seq: BitVec = (0..2048u64).map(|i| (i.wrapping_mul(2654435761) >> 13) & 1 == 1).collect();
+/// let results = suite(&seq)?;
+/// assert_eq!(results.len(), 8);
+/// # Ok::<(), pufstats::randtests::InsufficientBitsError>(())
+/// ```
+pub fn suite(bits: &BitVec) -> Result<Vec<TestResult>, InsufficientBitsError> {
+    let mut results = vec![
+        frequency(bits)?,
+        block_frequency(bits, 128.min(bits.len() / 4).max(8))?,
+        runs(bits)?,
+        longest_run(bits)?,
+        cumulative_sums(bits)?,
+    ];
+    // The pattern-counting, spectral, and rank tests need more data;
+    // include them when the sequence is long enough.
+    if let Ok(r) = serial(bits, 3) {
+        results.push(r);
+    }
+    if let Ok(r) = approximate_entropy(bits, 3) {
+        results.push(r);
+    }
+    if let Ok(r) = dft_spectral(bits) {
+        results.push(r);
+    }
+    if let Ok(r) = matrix_rank(bits) {
+        results.push(r);
+    }
+    if let Ok(r) = linear_complexity(bits) {
+        results.push(r);
+    }
+    Ok(results)
+}
+
+fn require(bits: &BitVec, min: usize) -> Result<(), InsufficientBitsError> {
+    if bits.len() < min {
+        Err(InsufficientBitsError {
+            required: min,
+            provided: bits.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn nist_reference_frequency_pi_expansion() {
+        // SP 800-22 §2.1.8 example: first 100 bits of the binary expansion
+        // of pi; expected p-value 0.109599.
+        let s = "1100100100001111110110101010001000100001011010001100001000110100\
+                 110001001100011001100010100010111000";
+        let bits: BitVec = s.chars().map(|c| c == '1').collect();
+        assert_eq!(bits.len(), 100);
+        let r = frequency(&bits).unwrap();
+        assert!((r.p_value - 0.109_599).abs() < 1e-5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn nist_reference_frequency_small_example() {
+        // SP 800-22 §2.1.4 worked example: ε = 1011010101, p-value 0.527089.
+        let bits: BitVec = "1011010101".chars().map(|c| c == '1').collect();
+        assert!((frequency_p(&bits) - 0.527_089).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nist_reference_runs_small_example() {
+        // SP 800-22 §2.3.4 worked example: ε = 1001101011, V(obs) = 7,
+        // p-value 0.147232.
+        let bits: BitVec = "1001101011".chars().map(|c| c == '1').collect();
+        assert!((runs_p(&bits) - 0.147_232).abs() < 1e-5);
+    }
+
+    #[test]
+    fn good_prng_passes_suite() {
+        let bits = random_bits(4096, 17);
+        for r in suite(&bits).unwrap() {
+            assert!(r.passed, "{r}");
+        }
+    }
+
+    #[test]
+    fn constant_sequence_fails_frequency_and_runs() {
+        let ones = BitVec::ones(1024);
+        assert!(!frequency(&ones).unwrap().passed);
+        assert!(!runs(&ones).unwrap().passed);
+        assert!(!longest_run(&ones).unwrap().passed);
+    }
+
+    #[test]
+    fn biased_sequence_fails_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits: BitVec = (0..4096).map(|_| rng.gen::<f64>() < 0.63).collect();
+        assert!(!frequency(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn alternating_sequence_fails_runs() {
+        let bits: BitVec = (0..1024).map(|i| i % 2 == 0).collect();
+        // Perfectly alternating: far too many runs.
+        assert!(!runs(&bits).unwrap().passed);
+        // ...but the frequency test is happy.
+        assert!(frequency(&bits).unwrap().passed);
+    }
+
+    #[test]
+    fn short_sequences_are_rejected() {
+        let bits = BitVec::zeros(50);
+        let err = frequency(&bits).unwrap_err();
+        assert_eq!(err.provided, 50);
+        assert!(err.to_string().contains("requires"));
+        assert!(suite(&bits).is_err());
+    }
+
+    #[test]
+    fn block_frequency_detects_clustered_bias() {
+        // First half all ones, second half all zeros: globally balanced,
+        // locally terrible.
+        let bits: BitVec = (0..2048).map(|i| i < 1024).collect();
+        assert!(frequency(&bits).unwrap().passed);
+        assert!(!block_frequency(&bits, 128).unwrap().passed);
+    }
+
+    #[test]
+    fn cumulative_sums_detects_drift() {
+        let bits: BitVec = (0..2048).map(|i| i < 1024).collect();
+        assert!(!cumulative_sums(&bits).unwrap().passed);
+        assert!(cumulative_sums(&random_bits(2048, 5)).unwrap().passed);
+    }
+
+    #[test]
+    fn result_display_mentions_verdict() {
+        let r = frequency(&random_bits(256, 1)).unwrap();
+        assert!(r.to_string().contains("PASS") || r.to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn serial_matches_brute_force_psi_statistics() {
+        // Independent recomputation of ∇ψ²ₘ by naive cyclic pattern
+        // counting over strings, cross-checked against the windowed
+        // implementation through the final p-value.
+        let bits = random_bits(512, 27);
+        let s: String = bits.iter().map(|b| if b { '1' } else { '0' }).collect();
+        let psi2 = |m: usize| -> f64 {
+            let n = s.len();
+            let doubled: Vec<char> = s.chars().chain(s.chars()).collect();
+            let mut counts = std::collections::HashMap::new();
+            for i in 0..n {
+                let pat: String = doubled[i..i + m].iter().collect();
+                *counts.entry(pat).or_insert(0u64) += 1;
+            }
+            counts.values().map(|&c| (c * c) as f64).sum::<f64>() * (1u64 << m) as f64
+                / n as f64
+                - n as f64
+        };
+        let m = 3;
+        let del1 = psi2(m) - psi2(m - 1);
+        let want = crate::special::gamma_q(2f64.powi(m as i32 - 2), del1 / 2.0);
+        let got = serial(&bits, m).unwrap();
+        assert!((got.p_value - want).abs() < 1e-10, "{} vs {want}", got.p_value);
+    }
+
+    #[test]
+    fn serial_and_apen_pass_on_good_prng() {
+        let bits = random_bits(8192, 23);
+        assert!(serial(&bits, 3).unwrap().passed);
+        assert!(serial(&bits, 5).unwrap().passed);
+        assert!(approximate_entropy(&bits, 3).unwrap().passed);
+    }
+
+    #[test]
+    fn serial_detects_periodic_patterns() {
+        // Period-4 pattern: perfectly balanced, passes frequency, but its
+        // 3-bit pattern distribution is degenerate.
+        let bits: BitVec = (0..4096).map(|i| matches!(i % 4, 0 | 1)).collect();
+        assert!(frequency(&bits).unwrap().passed);
+        assert!(!serial(&bits, 3).unwrap().passed);
+        assert!(!approximate_entropy(&bits, 3).unwrap().passed);
+    }
+
+    #[test]
+    fn apen_detects_biased_sources() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let bits: BitVec = (0..8192).map(|_| rng.gen::<f64>() < 0.7).collect();
+        assert!(!approximate_entropy(&bits, 3).unwrap().passed);
+    }
+
+    #[test]
+    fn fft_matches_direct_dft_on_small_input() {
+        // Compare the radix-2 FFT against a naive O(n²) DFT.
+        let n = 16;
+        let mut rng = StdRng::seed_from_u64(33);
+        let signal: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let mut re = signal.clone();
+        let mut im = vec![0.0; n];
+        fft_in_place(&mut re, &mut im);
+        for k in 0..n {
+            let (mut want_re, mut want_im) = (0.0f64, 0.0f64);
+            for (t, &x) in signal.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                want_re += x * angle.cos();
+                want_im += x * angle.sin();
+            }
+            assert!((re[k] - want_re).abs() < 1e-9, "k={k}");
+            assert!((im[k] - want_im).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn gf2_rank_known_cases() {
+        // Identity has full rank.
+        let mut identity: Vec<u32> = (0..32).map(|i| 1 << i).collect();
+        assert_eq!(gf2_rank(&mut identity), 32);
+        // All-equal rows have rank 1; zero matrix rank 0.
+        let mut ones = vec![0xFFFF_FFFFu32; 32];
+        assert_eq!(gf2_rank(&mut ones), 1);
+        let mut zeros = vec![0u32; 32];
+        assert_eq!(gf2_rank(&mut zeros), 0);
+        // A dependent row reduces the rank by one.
+        let mut dep: Vec<u32> = (0..31).map(|i| 1u32 << i).collect();
+        dep.push((1 << 0) | (1 << 1)); // row 0 ^ row 1
+        assert_eq!(gf2_rank(&mut dep), 31);
+    }
+
+    #[test]
+    fn matrix_rank_passes_random_and_fails_structured() {
+        let good = random_bits(40_960, 35);
+        assert!(matrix_rank(&good).unwrap().passed);
+        // Rank-degenerate stream: every 32-bit row identical.
+        let structured: BitVec = (0..40_960).map(|i| (i / 32) % 7 == 0).collect();
+        assert!(!matrix_rank(&structured).unwrap().passed);
+        assert!(matrix_rank(&random_bits(1000, 36)).is_err());
+    }
+
+    #[test]
+    fn dft_passes_random_and_fails_periodic() {
+        assert!(dft_spectral(&random_bits(4096, 37)).unwrap().passed);
+        // A strong periodic component concentrates spectral energy.
+        let periodic: BitVec = (0..4096).map(|i| (i / 7) % 2 == 0).collect();
+        assert!(!dft_spectral(&periodic).unwrap().passed);
+        assert!(dft_spectral(&random_bits(500, 38)).is_err());
+    }
+
+    #[test]
+    fn berlekamp_massey_known_values() {
+        // Constant sequence 111…1 has complexity 1; 000…0 has 0.
+        assert_eq!(linear_complexity_of(&BitVec::ones(64)), 1);
+        assert_eq!(linear_complexity_of(&BitVec::zeros(64)), 0);
+        // Alternating 1010… has complexity 2.
+        let alt: BitVec = (0..64).map(|i| i % 2 == 0).collect();
+        assert_eq!(linear_complexity_of(&alt), 2);
+        // A random sequence of length n has complexity ≈ n/2.
+        let rnd = random_bits(512, 41);
+        let l = linear_complexity_of(&rnd);
+        assert!((240..=272).contains(&l), "complexity {l}");
+    }
+
+    #[test]
+    fn berlekamp_massey_reproduces_lfsr_order() {
+        // Generate from a known LFSR with taps x^8 + x^6 + x^5 + x^4 + 1.
+        let mut state = 0b1011_0101u16;
+        let mut seq = BitVec::new();
+        for _ in 0..256 {
+            seq.push(state & 1 == 1);
+            let fb = (state ^ (state >> 2) ^ (state >> 3) ^ (state >> 4)) & 1;
+            state = (state >> 1) | (fb << 7);
+        }
+        assert_eq!(linear_complexity_of(&seq), 8);
+    }
+
+    #[test]
+    fn linear_complexity_passes_random_and_fails_lfsr() {
+        let good = random_bits(8000, 42);
+        assert!(linear_complexity(&good).unwrap().passed);
+        // A long LFSR-16 stream: each 500-bit block has complexity 16,
+        // wildly below mu = 250.
+        let mut state = 0xACE1u16;
+        let lfsr: BitVec = (0..8000)
+            .map(|_| {
+                let bit = state & 1 == 1;
+                let fb = (state ^ (state >> 2) ^ (state >> 3) ^ (state >> 5)) & 1;
+                state = (state >> 1) | (fb << 15);
+                bit
+            })
+            .collect();
+        assert!(!linear_complexity(&lfsr).unwrap().passed);
+        assert!(linear_complexity(&random_bits(1000, 43)).is_err());
+    }
+
+    #[test]
+    fn suite_includes_pattern_tests_for_long_sequences() {
+        let results = suite(&random_bits(8192, 31)).unwrap();
+        assert_eq!(results.len(), 9); // +serial, apen, dft, lc (rank needs 38 912)
+        let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"serial"));
+        assert!(names.contains(&"approximate_entropy"));
+        // The block-3 pattern tests need only 64 bits, so every valid
+        // suite input (≥128 bits) includes them.
+        let short = suite(&random_bits(128, 32)).unwrap();
+        assert_eq!(short.len(), 7); // no dft/rank below their floors
+        let long = suite(&random_bits(65_536, 33)).unwrap();
+        assert_eq!(long.len(), 10); // all tests active
+    }
+}

@@ -1,0 +1,296 @@
+//! Root finding and quadrature for model calibration.
+//!
+//! The cell and aging crates calibrate their free parameters (mismatch
+//! mean/sigma, BTI prefactor) so the model's *analytic* metrics hit the
+//! paper's Table I values. Those analytic metrics are expectations over a
+//! Gaussian population, evaluated here with Gauss–Hermite-style quadrature,
+//! and inverted with the root finders below.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a root finder fails to converge or is given an
+/// invalid bracket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// `f(lo)` and `f(hi)` have the same sign, so no root is bracketed.
+    NotBracketed {
+        /// Function value at the lower bound.
+        f_lo: f64,
+        /// Function value at the upper bound.
+        f_hi: f64,
+    },
+    /// The iteration budget was exhausted before reaching tolerance.
+    NoConvergence {
+        /// Best estimate when the budget ran out.
+        best: f64,
+        /// Residual at the best estimate.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotBracketed { f_lo, f_hi } => {
+                write!(f, "root not bracketed: f(lo)={f_lo}, f(hi)={f_hi}")
+            }
+            SolveError::NoConvergence { best, residual } => {
+                write!(f, "no convergence: best x={best}, residual={residual}")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Robust and derivative-free; all calibration in this workspace uses
+/// monotone objectives, for which bisection is exact to tolerance.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotBracketed`] if `f(lo)` and `f(hi)` have the same
+/// sign, or [`SolveError::NoConvergence`] if `max_iter` iterations do not
+/// reach `tol`.
+///
+/// # Examples
+///
+/// ```
+/// use pufstats::solve::bisect;
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), pufstats::solve::SolveError>(())
+/// ```
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<f64, SolveError> {
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(SolveError::NotBracketed { f_lo, f_hi });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid == 0.0 || (hi - lo) * 0.5 < tol {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let best = 0.5 * (lo + hi);
+    Err(SolveError::NoConvergence {
+        best,
+        residual: f(best),
+    })
+}
+
+/// Newton's method with a numeric derivative, falling back to bisection
+/// within `[lo, hi]` whenever a step leaves the bracket.
+///
+/// # Errors
+///
+/// Same conditions as [`bisect`].
+///
+/// # Examples
+///
+/// ```
+/// use pufstats::solve::newton_bracketed;
+/// let root = newton_bracketed(|x| x.exp() - 3.0, 0.0, 3.0, 1e-13, 100)?;
+/// assert!((root - 3f64.ln()).abs() < 1e-11);
+/// # Ok::<(), pufstats::solve::SolveError>(())
+/// ```
+pub fn newton_bracketed(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: u32,
+) -> Result<f64, SolveError> {
+    let mut f_lo = f(lo);
+    let mut f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(SolveError::NotBracketed { f_lo, f_hi });
+    }
+    let mut x = 0.5 * (lo + hi);
+    for _ in 0..max_iter {
+        let fx = f(x);
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        // Maintain the bracket.
+        if fx.signum() == f_lo.signum() {
+            lo = x;
+            f_lo = fx;
+        } else {
+            hi = x;
+            f_hi = fx;
+        }
+        let h = (hi - lo).abs().max(1e-9) * 1e-6;
+        let dfx = (f(x + h) - fx) / h;
+        let mut next = if dfx != 0.0 { x - fx / dfx } else { f64::NAN };
+        if !next.is_finite() || next <= lo || next >= hi {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - x).abs() < tol * 0.01 && fx.abs() < tol.max(1e-14) {
+            return Ok(next);
+        }
+        x = next;
+        if (hi - lo).abs() < tol * 1e-3 {
+            return Ok(x);
+        }
+    }
+    let _ = f_hi;
+    Err(SolveError::NoConvergence {
+        best: x,
+        residual: f(x),
+    })
+}
+
+/// Expectation `E[g(m)]` for `m ~ N(mu, sigma^2)` via change of variables
+/// and composite Simpson quadrature over ±`range` standard deviations.
+///
+/// With `steps = 400` and smooth `g`, relative error is far below the Monte
+/// Carlo noise of any simulated campaign. For `sigma == 0` the expectation
+/// collapses to `g(mu)`.
+///
+/// # Panics
+///
+/// Panics if `sigma < 0` or `steps == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use pufstats::solve::gaussian_expectation;
+/// // E[m^2] for N(0,1) is 1.
+/// let e = gaussian_expectation(0.0, 1.0, |m| m * m);
+/// assert!((e - 1.0).abs() < 1e-8);
+/// ```
+pub fn gaussian_expectation(mu: f64, sigma: f64, g: impl Fn(f64) -> f64) -> f64 {
+    gaussian_expectation_with(mu, sigma, 8.0, 4000, g)
+}
+
+/// [`gaussian_expectation`] with explicit integration `range` (in standard
+/// deviations) and Simpson `steps` (rounded up to even).
+///
+/// # Panics
+///
+/// Panics if `sigma < 0`, `range <= 0`, or `steps == 0`.
+pub fn gaussian_expectation_with(
+    mu: f64,
+    sigma: f64,
+    range: f64,
+    steps: usize,
+    g: impl Fn(f64) -> f64,
+) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    assert!(range > 0.0 && steps > 0, "invalid quadrature parameters");
+    if sigma == 0.0 {
+        return g(mu);
+    }
+    let steps = steps + steps % 2;
+    let h = 2.0 * range / steps as f64;
+    let weight = |z: f64| (-0.5 * z * z).exp();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..=steps {
+        let z = -range + i as f64 * h;
+        let w = if i == 0 || i == steps {
+            1.0
+        } else if i % 2 == 1 {
+            4.0
+        } else {
+            2.0
+        };
+        let wz = w * weight(z);
+        num += wz * g(mu + sigma * z);
+        den += wz;
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal::phi;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-11);
+    }
+
+    #[test]
+    fn bisect_accepts_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 10).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_unbracketed() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 50).unwrap_err();
+        assert!(matches!(err, SolveError::NotBracketed { .. }));
+        assert!(err.to_string().contains("not bracketed"));
+    }
+
+    #[test]
+    fn newton_converges_fast_on_smooth_function() {
+        let r = newton_bracketed(|x| x.powi(3) - 8.0, 0.0, 5.0, 1e-13, 60).unwrap();
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_survives_flat_regions() {
+        // Flat near the left end; Newton steps would overshoot.
+        let r = newton_bracketed(|x| (x - 1.0).powi(5), 0.0, 3.0, 1e-12, 300).unwrap();
+        assert!((r - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn gaussian_expectation_of_identity_is_mu() {
+        let e = gaussian_expectation(3.2, 1.7, |m| m);
+        assert!((e - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_expectation_matches_closed_form_phi() {
+        // E[Phi(m)] for m ~ N(mu, sigma^2) = Phi(mu / sqrt(1 + sigma^2)).
+        let (mu, sigma) = (0.4, 1.3);
+        let e = gaussian_expectation(mu, sigma, phi);
+        let want = phi(mu / (1.0 + sigma * sigma).sqrt());
+        assert!((e - want).abs() < 1e-8, "{e} vs {want}");
+    }
+
+    #[test]
+    fn gaussian_expectation_degenerate_sigma() {
+        assert_eq!(gaussian_expectation(2.0, 0.0, |m| m * m), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gaussian_expectation_rejects_negative_sigma() {
+        gaussian_expectation(0.0, -1.0, |m| m);
+    }
+}

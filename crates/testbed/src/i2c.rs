@@ -1,0 +1,382 @@
+//! Simulated I2C transport between master and slave boards.
+//!
+//! The rig moves every read-out from slave to master over I2C (paper §III,
+//! Fig. 2a). This module models the transport at the transaction level:
+//! 7-bit addressing, Arduino-`Wire`-style 32-byte chunking, a CRC-16/CCITT
+//! trailer per message, and optional fault injection (NAKs and bit flips)
+//! so the campaign's robustness to transport errors can be tested.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Maximum payload bytes per chunk — the Arduino `Wire` library's buffer.
+pub const CHUNK_BYTES: usize = 32;
+
+/// A 7-bit I2C slave address.
+///
+/// # Examples
+///
+/// ```
+/// use puftestbed::i2c::Address;
+/// let a = Address::new(0x42)?;
+/// assert_eq!(a.value(), 0x42);
+/// assert!(Address::new(0x80).is_err());
+/// # Ok::<(), puftestbed::i2c::InvalidAddressError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Address(u8);
+
+impl Address {
+    /// Creates an address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidAddressError`] if `value` does not fit 7 bits or is
+    /// one of the reserved addresses (0x00–0x07, 0x78–0x7F).
+    pub fn new(value: u8) -> Result<Self, InvalidAddressError> {
+        if value > 0x77 || value < 0x08 {
+            Err(InvalidAddressError { value })
+        } else {
+            Ok(Self(value))
+        }
+    }
+
+    /// The raw 7-bit address.
+    pub fn value(&self) -> u8 {
+        self.0
+    }
+}
+
+/// Error for out-of-range I2C addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidAddressError {
+    /// The rejected value.
+    pub value: u8,
+}
+
+impl fmt::Display for InvalidAddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid 7-bit i2c address 0x{:02x}", self.value)
+    }
+}
+
+impl Error for InvalidAddressError {}
+
+/// Transport-level failure of an I2C transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferError {
+    /// The addressed slave did not acknowledge.
+    Nack {
+        /// The unresponsive address.
+        address: u8,
+    },
+    /// The reassembled message failed its CRC check.
+    CrcMismatch {
+        /// CRC carried in the trailer.
+        expected: u16,
+        /// CRC computed over the received payload.
+        computed: u16,
+    },
+    /// The message ended before the CRC trailer.
+    Truncated {
+        /// Bytes actually received.
+        received: usize,
+    },
+}
+
+impl fmt::Display for TransferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferError::Nack { address } => write!(f, "nack from 0x{address:02x}"),
+            TransferError::CrcMismatch { expected, computed } => {
+                write!(f, "crc mismatch: trailer {expected:04x}, computed {computed:04x}")
+            }
+            TransferError::Truncated { received } => {
+                write!(f, "message truncated after {received} bytes")
+            }
+        }
+    }
+}
+
+impl Error for TransferError {}
+
+/// CRC-16/CCITT-FALSE over `data` (poly 0x1021, init 0xFFFF).
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value for "123456789".
+/// assert_eq!(puftestbed::i2c::crc16(b"123456789"), 0x29B1);
+/// ```
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Splits a payload into `Wire`-sized chunks and appends a CRC trailer.
+///
+/// The wire format is: payload chunks of at most [`CHUNK_BYTES`] bytes,
+/// followed by a final 2-byte big-endian CRC over the whole payload.
+pub fn encode_message(payload: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames: Vec<Vec<u8>> = payload
+        .chunks(CHUNK_BYTES)
+        .map(<[u8]>::to_vec)
+        .collect();
+    let crc = crc16(payload);
+    frames.push(vec![(crc >> 8) as u8, (crc & 0xFF) as u8]);
+    frames
+}
+
+/// Reassembles chunks produced by [`encode_message`] and verifies the CRC.
+///
+/// # Errors
+///
+/// Returns [`TransferError::Truncated`] if no CRC trailer is present, or
+/// [`TransferError::CrcMismatch`] if verification fails.
+pub fn decode_message(frames: &[Vec<u8>]) -> Result<Vec<u8>, TransferError> {
+    let total: usize = frames.iter().map(Vec::len).sum();
+    if frames.is_empty() || frames[frames.len() - 1].len() != 2 {
+        return Err(TransferError::Truncated { received: total });
+    }
+    let (payload_frames, trailer) = frames.split_at(frames.len() - 1);
+    let payload: Vec<u8> = payload_frames.concat();
+    let expected = (u16::from(trailer[0][0]) << 8) | u16::from(trailer[0][1]);
+    let computed = crc16(&payload);
+    if expected != computed {
+        return Err(TransferError::CrcMismatch { expected, computed });
+    }
+    Ok(payload)
+}
+
+/// Statistics and fault injection for one I2C bus segment.
+///
+/// A bus carries messages between one master and its slaves. Fault rates are
+/// per-*transaction* probabilities; the default bus is ideal.
+///
+/// # Examples
+///
+/// ```
+/// use puftestbed::i2c::{Address, I2cBus};
+/// use rand::SeedableRng;
+///
+/// let mut bus = I2cBus::ideal();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let addr = Address::new(0x10)?;
+/// let payload = vec![7u8; 100];
+/// let received = bus.transfer(addr, &payload, &mut rng)?;
+/// assert_eq!(received, payload);
+/// assert_eq!(bus.transactions(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct I2cBus {
+    nack_rate: f64,
+    corruption_rate: f64,
+    transactions: u64,
+    failures: u64,
+    bytes_moved: u64,
+}
+
+impl Default for I2cBus {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+impl I2cBus {
+    /// A fault-free bus.
+    pub fn ideal() -> Self {
+        Self {
+            nack_rate: 0.0,
+            corruption_rate: 0.0,
+            transactions: 0,
+            failures: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// A bus that NAKs or corrupts transactions with the given
+    /// probabilities (fault injection for robustness tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn with_faults(nack_rate: f64, corruption_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&nack_rate) && (0.0..=1.0).contains(&corruption_rate),
+            "fault rates must be probabilities"
+        );
+        Self {
+            nack_rate,
+            corruption_rate,
+            ..Self::ideal()
+        }
+    }
+
+    /// Transfers `payload` from the slave at `address` to the master,
+    /// through chunking, optional fault injection, and CRC verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransferError`] if the (simulated) slave NAKs or the CRC
+    /// fails after corruption.
+    pub fn transfer<R: Rng + ?Sized>(
+        &mut self,
+        address: Address,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> Result<Vec<u8>, TransferError> {
+        self.transactions += 1;
+        if self.nack_rate > 0.0 && rng.gen::<f64>() < self.nack_rate {
+            self.failures += 1;
+            return Err(TransferError::Nack {
+                address: address.value(),
+            });
+        }
+        let mut frames = encode_message(payload);
+        if self.corruption_rate > 0.0 && rng.gen::<f64>() < self.corruption_rate {
+            // Flip one random bit in a random payload frame.
+            let fi = rng.gen_range(0..frames.len().saturating_sub(1).max(1));
+            if !frames[fi].is_empty() {
+                let bi = rng.gen_range(0..frames[fi].len() * 8);
+                frames[fi][bi / 8] ^= 1 << (bi % 8);
+            }
+        }
+        let result = decode_message(&frames);
+        match &result {
+            Ok(bytes) => self.bytes_moved += bytes.len() as u64,
+            Err(_) => self.failures += 1,
+        }
+        result
+    }
+
+    /// Total transactions attempted.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Transactions that failed (NAK or CRC).
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Payload bytes successfully delivered.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crc16_check_value() {
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn encode_chunks_at_wire_size() {
+        let payload = vec![0xAB; 100];
+        let frames = encode_message(&payload);
+        // 100 bytes → 32+32+32+4 payload frames + CRC trailer.
+        assert_eq!(frames.len(), 5);
+        assert_eq!(frames[0].len(), 32);
+        assert_eq!(frames[3].len(), 4);
+        assert_eq!(frames[4].len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        for len in [0, 1, 31, 32, 33, 1024] {
+            let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let frames = encode_message(&payload);
+            assert_eq!(decode_message(&frames).unwrap(), payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let payload = vec![0x55; 64];
+        let mut frames = encode_message(&payload);
+        frames[1][3] ^= 0x04;
+        let err = decode_message(&frames).unwrap_err();
+        assert!(matches!(err, TransferError::CrcMismatch { .. }));
+        assert!(err.to_string().contains("crc mismatch"));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let payload = vec![1u8; 40];
+        let mut frames = encode_message(&payload);
+        frames.pop(); // drop the CRC trailer
+        assert!(matches!(
+            decode_message(&frames),
+            Err(TransferError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn ideal_bus_moves_everything() {
+        let mut bus = I2cBus::ideal();
+        let mut rng = StdRng::seed_from_u64(1);
+        let addr = Address::new(0x20).unwrap();
+        for _ in 0..10 {
+            bus.transfer(addr, &[1, 2, 3], &mut rng).unwrap();
+        }
+        assert_eq!(bus.transactions(), 10);
+        assert_eq!(bus.failures(), 0);
+        assert_eq!(bus.bytes_moved(), 30);
+    }
+
+    #[test]
+    fn faulty_bus_fails_at_expected_rate() {
+        let mut bus = I2cBus::with_faults(0.3, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let addr = Address::new(0x21).unwrap();
+        let n = 2000;
+        let mut nacks = 0u32;
+        for _ in 0..n {
+            if bus.transfer(addr, &[0u8; 16], &mut rng).is_err() {
+                nacks += 1;
+            }
+        }
+        let rate = f64::from(nacks) / f64::from(n);
+        assert!((rate - 0.3).abs() < 0.05, "nack rate {rate}");
+        assert_eq!(bus.failures(), u64::from(nacks));
+    }
+
+    #[test]
+    fn corrupting_bus_reports_crc_errors() {
+        let mut bus = I2cBus::with_faults(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let addr = Address::new(0x22).unwrap();
+        let err = bus.transfer(addr, &[9u8; 64], &mut rng).unwrap_err();
+        assert!(matches!(err, TransferError::CrcMismatch { .. }));
+    }
+
+    #[test]
+    fn reserved_addresses_rejected() {
+        assert!(Address::new(0x00).is_err());
+        assert!(Address::new(0x07).is_err());
+        assert!(Address::new(0x78).is_err());
+        assert!(Address::new(0x08).is_ok());
+        assert!(Address::new(0x77).is_ok());
+        assert!(Address::new(0x00).unwrap_err().to_string().contains("0x00"));
+    }
+}

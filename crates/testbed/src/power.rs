@@ -1,0 +1,183 @@
+//! The power-switch board: one supply channel per slave board.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// The power-switch board of the rig (paper Fig. 2): a bank of independently
+/// switchable supply channels, one per slave board, driven by the masters.
+///
+/// Separate channels per board are what the paper uses to "avoid
+/// interference between boards in the same stack"; the switch keeps
+/// per-channel cycle counts so a campaign can assert every board received
+/// the same number of power cycles (the paper's synchronization property).
+///
+/// # Examples
+///
+/// ```
+/// use puftestbed::PowerSwitch;
+///
+/// let mut sw = PowerSwitch::new(4);
+/// sw.set_channel(2, true)?;
+/// assert!(sw.is_on(2)?);
+/// sw.set_channel(2, false)?;
+/// assert_eq!(sw.cycles(2)?, 1);
+/// # Ok::<(), puftestbed::power::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerSwitch {
+    on: Vec<bool>,
+    cycles: Vec<u64>,
+}
+
+/// Error for out-of-range power-switch channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelError {
+    /// The requested channel.
+    pub channel: usize,
+    /// Number of channels the switch has.
+    pub channels: usize,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "power switch has {} channels, channel {} requested",
+            self.channels, self.channel
+        )
+    }
+}
+
+impl Error for ChannelError {}
+
+impl PowerSwitch {
+    /// Creates a switch with `channels` channels, all off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "a power switch needs at least one channel");
+        Self {
+            on: vec![false; channels],
+            cycles: vec![0; channels],
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.on.len()
+    }
+
+    /// Whether `channel` is currently powered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] for out-of-range channels.
+    pub fn is_on(&self, channel: usize) -> Result<bool, ChannelError> {
+        self.on.get(channel).copied().ok_or(ChannelError {
+            channel,
+            channels: self.on.len(),
+        })
+    }
+
+    /// Switches `channel` to `state`. A falling edge (on → off) completes a
+    /// power cycle and increments the channel's cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] for out-of-range channels.
+    pub fn set_channel(&mut self, channel: usize, state: bool) -> Result<(), ChannelError> {
+        let channels = self.on.len();
+        let slot = self.on.get_mut(channel).ok_or(ChannelError {
+            channel,
+            channels,
+        })?;
+        if *slot && !state {
+            self.cycles[channel] += 1;
+        }
+        *slot = state;
+        Ok(())
+    }
+
+    /// Switches a group of channels together (one rig layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] on the first out-of-range channel; earlier
+    /// channels in the group will already have switched.
+    pub fn set_group<I: IntoIterator<Item = usize>>(
+        &mut self,
+        group: I,
+        state: bool,
+    ) -> Result<(), ChannelError> {
+        for ch in group {
+            self.set_channel(ch, state)?;
+        }
+        Ok(())
+    }
+
+    /// Completed power cycles of `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] for out-of-range channels.
+    pub fn cycles(&self, channel: usize) -> Result<u64, ChannelError> {
+        self.cycles.get(channel).copied().ok_or(ChannelError {
+            channel,
+            channels: self.on.len(),
+        })
+    }
+
+    /// Number of currently powered channels.
+    pub fn powered_count(&self) -> usize {
+        self.on.iter().filter(|&&s| s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_count_falling_edges() {
+        let mut sw = PowerSwitch::new(2);
+        for _ in 0..3 {
+            sw.set_channel(0, true).unwrap();
+            sw.set_channel(0, false).unwrap();
+        }
+        // Redundant off does not count.
+        sw.set_channel(0, false).unwrap();
+        assert_eq!(sw.cycles(0).unwrap(), 3);
+        assert_eq!(sw.cycles(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn group_switching() {
+        let mut sw = PowerSwitch::new(8);
+        sw.set_group(0..4, true).unwrap();
+        assert_eq!(sw.powered_count(), 4);
+        assert!(sw.is_on(3).unwrap());
+        assert!(!sw.is_on(4).unwrap());
+        sw.set_group(0..4, false).unwrap();
+        assert_eq!(sw.powered_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_channel_errors() {
+        let mut sw = PowerSwitch::new(2);
+        let err = sw.set_channel(5, true).unwrap_err();
+        assert_eq!(err.channel, 5);
+        assert_eq!(err.channels, 2);
+        assert!(err.to_string().contains("channel 5"));
+        assert!(sw.is_on(2).is_err());
+        assert!(sw.cycles(9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        PowerSwitch::new(0);
+    }
+}

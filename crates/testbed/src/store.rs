@@ -1,0 +1,369 @@
+//! The data sink: JSON records, as the rig's Raspberry Pi stores them.
+//!
+//! The paper's Raspberry Pi "receives SRAM data from master boards, and
+//! sends them to a database and stores them in a JSON format". This module
+//! provides the record type, a self-contained JSON value model with writer
+//! and parser (no external JSON dependency), and sink implementations for
+//! files/streams and in-memory analysis.
+
+use crate::{BoardId, Timestamp};
+use pufbits::BitVec;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+pub mod json;
+
+use json::JsonValue;
+
+/// One stored measurement: which device, which power cycle, when, and the
+/// captured pattern.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use puftestbed::{BoardId, Record, Timestamp};
+///
+/// let r = Record::new(BoardId(3), 17, Timestamp(1_486_512_000), BitVec::from_bytes(&[0xA5]));
+/// let line = r.to_json_line();
+/// let back = Record::parse_json_line(&line)?;
+/// assert_eq!(back, r);
+/// # Ok::<(), puftestbed::store::ParseRecordError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// The measured device.
+    pub device: BoardId,
+    /// Per-device sequence number of the power cycle (0-based; counts every
+    /// cycle, including unrecorded ones in windowed campaigns).
+    pub seq: u64,
+    /// Capture instant.
+    pub timestamp: Timestamp,
+    /// The captured power-up pattern.
+    pub data: BitVec,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(device: BoardId, seq: u64, timestamp: Timestamp, data: BitVec) -> Self {
+        Self {
+            device,
+            seq,
+            timestamp,
+            data,
+        }
+    }
+
+    /// Serializes to one line of JSON (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let hex: String = self
+            .data
+            .to_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        let obj = JsonValue::Object(vec![
+            ("device".to_string(), JsonValue::Number(f64::from(self.device.0))),
+            ("seq".to_string(), JsonValue::Number(self.seq as f64)),
+            (
+                "timestamp".to_string(),
+                JsonValue::Number(self.timestamp.0 as f64),
+            ),
+            (
+                "bits".to_string(),
+                JsonValue::Number(self.data.len() as f64),
+            ),
+            ("data".to_string(), JsonValue::String(hex)),
+        ]);
+        obj.to_string()
+    }
+
+    /// Parses a record from a JSON line produced by
+    /// [`to_json_line`](Self::to_json_line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRecordError`] on malformed JSON, missing fields, or
+    /// inconsistent bit counts.
+    pub fn parse_json_line(line: &str) -> Result<Self, ParseRecordError> {
+        let value = json::parse(line).map_err(ParseRecordError::Json)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| ParseRecordError::Malformed("record is not an object".into()))?;
+        let field = |name: &str| -> Result<&JsonValue, ParseRecordError> {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| ParseRecordError::Malformed(format!("missing field `{name}`")))
+        };
+        let num = |name: &str| -> Result<f64, ParseRecordError> {
+            field(name)?
+                .as_number()
+                .ok_or_else(|| ParseRecordError::Malformed(format!("field `{name}` not a number")))
+        };
+        let device = BoardId(num("device")? as u8);
+        let seq = num("seq")? as u64;
+        let timestamp = Timestamp(num("timestamp")? as i64);
+        let bits = num("bits")? as usize;
+        let hex = field("data")?
+            .as_str()
+            .ok_or_else(|| ParseRecordError::Malformed("field `data` not a string".into()))?;
+        if hex.len() % 2 != 0 {
+            return Err(ParseRecordError::Malformed("odd-length hex data".into()));
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        for i in (0..hex.len()).step_by(2) {
+            let byte = u8::from_str_radix(&hex[i..i + 2], 16)
+                .map_err(|_| ParseRecordError::Malformed("invalid hex data".into()))?;
+            bytes.push(byte);
+        }
+        if bytes.len() != bits.div_ceil(8) {
+            return Err(ParseRecordError::Malformed(format!(
+                "data length {} does not cover {} bits",
+                bytes.len(),
+                bits
+            )));
+        }
+        let data = BitVec::from_bytes(&bytes).prefix(bits);
+        Ok(Self {
+            device,
+            seq,
+            timestamp,
+            data,
+        })
+    }
+}
+
+/// Error parsing a stored record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseRecordError {
+    /// The line was not valid JSON.
+    Json(json::ParseJsonError),
+    /// The JSON did not describe a record.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseRecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRecordError::Json(e) => write!(f, "invalid json: {e}"),
+            ParseRecordError::Malformed(msg) => write!(f, "malformed record: {msg}"),
+        }
+    }
+}
+
+impl Error for ParseRecordError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseRecordError::Json(e) => Some(e),
+            ParseRecordError::Malformed(_) => None,
+        }
+    }
+}
+
+/// Destination for campaign records, in arrival order.
+///
+/// The campaign runner is generic over the sink so the same run can stream
+/// to disk, accumulate in memory, or feed the analysis pipeline directly.
+pub trait RecordSink {
+    /// Accepts one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if persisting the record fails.
+    fn record(&mut self, record: &Record) -> io::Result<()>;
+}
+
+/// Sink writing one JSON line per record to any [`Write`] (a file, a pipe —
+/// a `&mut` reference also works).
+#[derive(Debug)]
+pub struct JsonLinesSink<W> {
+    writer: W,
+    written: u64,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Creates a sink over `writer`.
+    pub fn new(writer: W) -> Self {
+        Self { writer, written: 0 }
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error, if any.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> RecordSink for JsonLinesSink<W> {
+    fn record(&mut self, record: &Record) -> io::Result<()> {
+        writeln!(self.writer, "{}", record.to_json_line())?;
+        self.written += 1;
+        Ok(())
+    }
+}
+
+/// Sink keeping every record in memory (tests, small campaigns).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemorySink {
+    records: Vec<Record>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the records.
+    pub fn into_records(self) -> Vec<Record> {
+        self.records
+    }
+}
+
+impl RecordSink for MemorySink {
+    fn record(&mut self, record: &Record) -> io::Result<()> {
+        self.records.push(record.clone());
+        Ok(())
+    }
+}
+
+/// Reads back a JSON-lines stream written by [`JsonLinesSink`].
+///
+/// # Errors
+///
+/// Returns an error on I/O failure; individual malformed lines are returned
+/// as `Err` items.
+pub fn read_json_lines<R: BufRead>(
+    reader: R,
+) -> impl Iterator<Item = Result<Record, ParseRecordError>> {
+    reader.lines().filter_map(|line| match line {
+        Ok(l) if l.trim().is_empty() => None,
+        Ok(l) => Some(Record::parse_json_line(&l)),
+        Err(e) => Some(Err(ParseRecordError::Malformed(format!("io error: {e}")))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(device: u8, seq: u64) -> Record {
+        Record::new(
+            BoardId(device),
+            seq,
+            Timestamp(1_486_512_000 + seq as i64 * 5),
+            BitVec::from_bytes(&[seq as u8, device, 0xFF]),
+        )
+    }
+
+    #[test]
+    fn json_format_is_stable() {
+        // Golden-format guard: readers in other languages depend on this
+        // exact layout; change it only with a format version bump.
+        let r = Record::new(
+            BoardId(3),
+            17,
+            Timestamp(1_486_512_000),
+            BitVec::from_bytes(&[0xA5, 0x01]),
+        );
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"device":3,"seq":17,"timestamp":1486512000,"bits":16,"data":"a501"}"#
+        );
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let r = sample(7, 123);
+        let back = Record::parse_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn non_byte_aligned_patterns_round_trip() {
+        let mut data = BitVec::zeros(13);
+        data.set(0, true);
+        data.set(12, true);
+        let r = Record::new(BoardId(0), 1, Timestamp(0), data);
+        let back = Record::parse_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.data.len(), 13);
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let err = Record::parse_json_line(r#"{"device":1}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn invalid_json_is_reported_with_source() {
+        let err = Record::parse_json_line("not json").unwrap_err();
+        assert!(matches!(err, ParseRecordError::Json(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn inconsistent_bits_rejected() {
+        let line = r#"{"device":0,"seq":0,"timestamp":0,"bits":64,"data":"ff"}"#;
+        assert!(Record::parse_json_line(line).is_err());
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        let line = r#"{"device":0,"seq":0,"timestamp":0,"bits":8,"data":"zz"}"#;
+        assert!(Record::parse_json_line(line).is_err());
+        let odd = r#"{"device":0,"seq":0,"timestamp":0,"bits":8,"data":"abc"}"#;
+        assert!(Record::parse_json_line(odd).is_err());
+    }
+
+    #[test]
+    fn json_lines_sink_then_read_back() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let records: Vec<Record> = (0..5).map(|i| sample(i % 3, u64::from(i))).collect();
+        for r in &records {
+            sink.record(r).unwrap();
+        }
+        assert_eq!(sink.written(), 5);
+        let buffer = sink.into_inner().unwrap();
+        let back: Vec<Record> = read_json_lines(buffer.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let data = "\n\n".to_string() + &sample(0, 0).to_json_line() + "\n\n";
+        let back: Vec<_> = read_json_lines(data.as_bytes()).collect();
+        assert_eq!(back.len(), 1);
+        assert!(back[0].is_ok());
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        for i in 0..3 {
+            sink.record(&sample(0, i)).unwrap();
+        }
+        assert_eq!(sink.records().len(), 3);
+        assert_eq!(sink.into_records()[2].seq, 2);
+    }
+}

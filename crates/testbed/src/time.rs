@@ -1,0 +1,283 @@
+//! Simulation time and the civil calendar.
+//!
+//! The paper's evaluation protocol is calendar-driven: "the first 1 000
+//! consecutive measurements after midnight on the 8th of each month". The
+//! campaign therefore needs real dates, implemented here with the standard
+//! days-from-civil algorithm (proleptic Gregorian, UTC, no leap seconds —
+//! adequate for month-boundary selection).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A civil calendar date (proleptic Gregorian).
+///
+/// # Examples
+///
+/// ```
+/// use puftestbed::CalendarDate;
+///
+/// let start = CalendarDate::new(2017, 2, 8);
+/// let end = CalendarDate::new(2019, 2, 8);
+/// assert_eq!(end.days_since_epoch() - start.days_since_epoch(), 730);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CalendarDate {
+    /// Year (e.g. 2017).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+impl CalendarDate {
+    /// Creates a date.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `month` or `day` is out of range for the given month/year.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} out of range for {year}-{month:02}"
+        );
+        Self { year, month, day }
+    }
+
+    /// Days since the Unix epoch (1970-01-01).
+    pub fn days_since_epoch(&self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Date from days since the Unix epoch.
+    pub fn from_days_since_epoch(days: i64) -> Self {
+        let (year, month, day) = civil_from_days(days);
+        Self { year, month, day }
+    }
+
+    /// The same day in the following month (clamping the day if needed,
+    /// which never happens for day ≤ 28).
+    pub fn next_month(&self) -> Self {
+        let (year, month) = if self.month == 12 {
+            (self.year + 1, 1)
+        } else {
+            (self.year, self.month + 1)
+        };
+        Self::new(year, month, self.day.min(days_in_month(year, month)))
+    }
+}
+
+impl fmt::Display for CalendarDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A wall-clock instant: seconds since the Unix epoch (UTC).
+///
+/// # Examples
+///
+/// ```
+/// use puftestbed::{CalendarDate, Timestamp};
+///
+/// let t = Timestamp::from_date(CalendarDate::new(2017, 2, 8));
+/// assert_eq!(t.date(), CalendarDate::new(2017, 2, 8));
+/// assert_eq!(t.datetime().hour, 0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Midnight (00:00:00 UTC) of `date`.
+    pub fn from_date(date: CalendarDate) -> Self {
+        Self(date.days_since_epoch() * 86_400)
+    }
+
+    /// The instant `seconds` (fractional allowed, truncated) later.
+    pub fn offset_by(&self, seconds: f64) -> Self {
+        Self(self.0 + seconds.floor() as i64)
+    }
+
+    /// Seconds elapsed since `earlier` (negative if `self` is earlier).
+    pub fn seconds_since(&self, earlier: Timestamp) -> i64 {
+        self.0 - earlier.0
+    }
+
+    /// The calendar date containing this instant.
+    pub fn date(&self) -> CalendarDate {
+        CalendarDate::from_days_since_epoch(self.0.div_euclid(86_400))
+    }
+
+    /// Full date and time-of-day decomposition.
+    pub fn datetime(&self) -> DateTime {
+        let date = self.date();
+        let secs = self.0.rem_euclid(86_400);
+        DateTime {
+            date,
+            hour: (secs / 3600) as u8,
+            minute: ((secs % 3600) / 60) as u8,
+            second: (secs % 60) as u8,
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.datetime())
+    }
+}
+
+/// A decomposed timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DateTime {
+    /// Calendar date.
+    pub date: CalendarDate,
+    /// Hour, 0–23.
+    pub hour: u8,
+    /// Minute, 0–59.
+    pub minute: u8,
+    /// Second, 0–59.
+    pub second: u8,
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}T{:02}:{:02}:{:02}Z",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+/// Days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month} out of range"),
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+// Howard Hinnant's days_from_civil / civil_from_days.
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (
+        (y + i64::from(m <= 2)) as i32,
+        m as u8,
+        d as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(CalendarDate::new(1970, 1, 1).days_since_epoch(), 0);
+        assert_eq!(CalendarDate::from_days_since_epoch(0), CalendarDate::new(1970, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_across_decades() {
+        for days in (-200_000..200_000).step_by(1_234) {
+            let date = CalendarDate::from_days_since_epoch(days);
+            assert_eq!(date.days_since_epoch(), days, "{date}");
+        }
+    }
+
+    #[test]
+    fn paper_campaign_span_is_730_days() {
+        // Feb 8 2017 → Feb 8 2019 spans one leap-free stretch of 730 days
+        // (2016 was the leap year; 2017 and 2018 are not).
+        let start = CalendarDate::new(2017, 2, 8);
+        let end = CalendarDate::new(2019, 2, 8);
+        assert_eq!(end.days_since_epoch() - start.days_since_epoch(), 730);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2017, 2), 28);
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+    }
+
+    #[test]
+    fn next_month_walks_the_campaign() {
+        let mut date = CalendarDate::new(2017, 2, 8);
+        let mut months = 0;
+        while date < CalendarDate::new(2019, 2, 8) {
+            date = date.next_month();
+            months += 1;
+        }
+        assert_eq!(months, 24);
+        assert_eq!(date, CalendarDate::new(2019, 2, 8));
+    }
+
+    #[test]
+    fn next_month_wraps_december() {
+        assert_eq!(
+            CalendarDate::new(2017, 12, 8).next_month(),
+            CalendarDate::new(2018, 1, 8)
+        );
+    }
+
+    #[test]
+    fn timestamp_decomposition() {
+        let t = Timestamp::from_date(CalendarDate::new(2017, 2, 8)).offset_by(3_725.9);
+        let dt = t.datetime();
+        assert_eq!(dt.hour, 1);
+        assert_eq!(dt.minute, 2);
+        assert_eq!(dt.second, 5);
+        assert_eq!(dt.to_string(), "2017-02-08T01:02:05Z");
+    }
+
+    #[test]
+    fn timestamps_order_and_subtract() {
+        let a = Timestamp::from_date(CalendarDate::new(2017, 2, 8));
+        let b = a.offset_by(5.4);
+        assert!(b > a);
+        assert_eq!(b.seconds_since(a), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_date_rejected() {
+        CalendarDate::new(2017, 2, 29);
+    }
+}

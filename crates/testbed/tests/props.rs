@@ -1,0 +1,91 @@
+//! Property-based invariants of the rig simulation.
+
+use proptest::prelude::*;
+use pufbits::BitVec;
+use puftestbed::i2c::{decode_message, encode_message};
+use puftestbed::schedule::{two_layer_schedule, HandshakeMachine, LayerPhase};
+use puftestbed::store::json::{self, JsonValue};
+use puftestbed::store::Record;
+use puftestbed::{BoardId, CalendarDate, Timestamp};
+
+proptest! {
+    #[test]
+    fn i2c_messages_round_trip(payload in prop::collection::vec(any::<u8>(), 0..200)) {
+        let frames = encode_message(&payload);
+        prop_assert_eq!(decode_message(&frames).unwrap(), payload);
+    }
+
+    #[test]
+    fn i2c_detects_any_single_bit_flip(payload in prop::collection::vec(any::<u8>(), 1..100), frame_pick in any::<u16>(), bit_pick in any::<u16>()) {
+        let mut frames = encode_message(&payload);
+        let fi = usize::from(frame_pick) % frames.len();
+        if !frames[fi].is_empty() {
+            let bi = usize::from(bit_pick) % (frames[fi].len() * 8);
+            frames[fi][bi / 8] ^= 1 << (bi % 8);
+            prop_assert!(decode_message(&frames).is_err(), "flip went undetected");
+        }
+    }
+
+    #[test]
+    fn calendar_round_trips(days in -100_000i64..100_000) {
+        let date = CalendarDate::from_days_since_epoch(days);
+        prop_assert_eq!(date.days_since_epoch(), days);
+        prop_assert!((1..=12).contains(&date.month));
+        prop_assert!((1..=31).contains(&date.day));
+    }
+
+    #[test]
+    fn timestamps_decompose_consistently(secs in -4_000_000_000i64..4_000_000_000) {
+        let t = Timestamp(secs);
+        let dt = t.datetime();
+        prop_assert!(dt.hour < 24 && dt.minute < 60 && dt.second < 60);
+        // Rebuild the timestamp from the decomposition.
+        let rebuilt = Timestamp::from_date(dt.date).0
+            + i64::from(dt.hour) * 3600
+            + i64::from(dt.minute) * 60
+            + i64::from(dt.second);
+        prop_assert_eq!(rebuilt, secs);
+    }
+
+    #[test]
+    fn records_survive_the_json_store(device in 0u8..32, seq in any::<u32>(), ts in -2_000_000_000i64..2_000_000_000, bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let record = Record::new(
+            BoardId(device),
+            u64::from(seq),
+            Timestamp(ts),
+            BitVec::from_bits(bits),
+        );
+        let line = record.to_json_line();
+        prop_assert_eq!(Record::parse_json_line(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn json_strings_round_trip(s in "\\PC{0,60}") {
+        let v = JsonValue::String(s.clone());
+        let parsed = json::parse(&v.to_string()).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_complete(cycles in 1u64..200) {
+        let schedule = two_layer_schedule(cycles);
+        prop_assert_eq!(schedule.len() as u64, cycles * 2);
+        for w in schedule.windows(2) {
+            prop_assert!(w[0].time_s < w[1].time_s);
+        }
+        let per_layer = schedule.iter().filter(|r| r.layer == 0).count() as u64;
+        prop_assert_eq!(per_layer, cycles);
+    }
+
+    #[test]
+    fn handshake_stays_in_lockstep(steps in 1usize..5000) {
+        let mut hs = HandshakeMachine::new();
+        for _ in 0..steps {
+            hs.step();
+            let both_powered = matches!(hs.phase(0), LayerPhase::PoweredOn | LayerPhase::ReadingOut)
+                && matches!(hs.phase(1), LayerPhase::PoweredOn | LayerPhase::ReadingOut);
+            prop_assert!(!both_powered);
+        }
+        prop_assert!(hs.cycles(0).abs_diff(hs.cycles(1)) <= 1);
+    }
+}

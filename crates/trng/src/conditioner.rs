@@ -1,0 +1,153 @@
+//! SHA-256 conditioning with conservative entropy accounting.
+
+use pufbits::BitVec;
+use pufkeygen::sha256::Sha256;
+
+/// A hash-based conditioner: raw bits are absorbed together with their
+/// assessed min-entropy; full-entropy output blocks are released only once
+/// the accumulated credit covers the output with a safety factor of two
+/// (the standard derating for vetted conditioners in SP 800-90B/90C
+/// practice).
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use puftrng::conditioner::Conditioner;
+///
+/// let mut c = Conditioner::new();
+/// // 40 000 raw bits at 0.03 bits/bit ≈ 1 200 bits of credit →
+/// // 600 full-entropy output bits available.
+/// c.absorb(&BitVec::ones(40_000), 0.03);
+/// assert!(c.available_bytes() >= 64);
+/// let out = c.squeeze(32).unwrap();
+/// assert_eq!(out.len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conditioner {
+    state: Sha256,
+    credit_bits: f64,
+    counter: u64,
+}
+
+impl Default for Conditioner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Safety derating: credited entropy must be at least twice the output.
+const DERATING: f64 = 2.0;
+
+impl Conditioner {
+    /// Creates an empty conditioner.
+    pub fn new() -> Self {
+        Self {
+            state: Sha256::new(),
+            credit_bits: 0.0,
+            counter: 0,
+        }
+    }
+
+    /// Absorbs raw bits assessed at `entropy_per_bit` bits of min-entropy
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entropy_per_bit` is outside `[0, 1]`.
+    pub fn absorb(&mut self, raw: &BitVec, entropy_per_bit: f64) {
+        assert!(
+            (0.0..=1.0).contains(&entropy_per_bit),
+            "entropy per bit out of range: {entropy_per_bit}"
+        );
+        self.state.update(&raw.to_bytes());
+        self.state.update(&(raw.len() as u64).to_le_bytes());
+        self.credit_bits += raw.len() as f64 * entropy_per_bit;
+    }
+
+    /// Entropy credit currently held, in bits.
+    pub fn credit_bits(&self) -> f64 {
+        self.credit_bits
+    }
+
+    /// Output bytes available at the current credit.
+    pub fn available_bytes(&self) -> usize {
+        ((self.credit_bits / DERATING) / 8.0).floor() as usize
+    }
+
+    /// Produces `n` conditioned bytes, or `None` if the credit is
+    /// insufficient (absorb more raw material first).
+    pub fn squeeze(&mut self, n: usize) -> Option<Vec<u8>> {
+        if n > self.available_bytes() {
+            return None;
+        }
+        self.credit_bits -= n as f64 * 8.0 * DERATING;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let mut block = self.state.clone();
+            block.update(&self.counter.to_le_bytes());
+            self.counter += 1;
+            let digest = block.finalize();
+            let take = (n - out.len()).min(digest.len());
+            out.extend_from_slice(&digest[..take]);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_output_without_credit() {
+        let mut c = Conditioner::new();
+        assert_eq!(c.available_bytes(), 0);
+        assert!(c.squeeze(1).is_none());
+        c.absorb(&BitVec::ones(100), 0.03); // 3 bits credit → 0 bytes
+        assert!(c.squeeze(1).is_none());
+    }
+
+    #[test]
+    fn credit_accounting_with_derating() {
+        let mut c = Conditioner::new();
+        c.absorb(&BitVec::ones(1000), 0.5); // 500 bits credit
+        assert_eq!(c.available_bytes(), 31); // 500/2/8 = 31.25
+        let out = c.squeeze(31).unwrap();
+        assert_eq!(out.len(), 31);
+        assert!(c.squeeze(1).is_none(), "credit spent");
+    }
+
+    #[test]
+    fn outputs_differ_between_squeezes() {
+        let mut c = Conditioner::new();
+        c.absorb(&BitVec::ones(10_000), 0.5);
+        let a = c.squeeze(32).unwrap();
+        let b = c.squeeze(32).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_inputs_give_different_outputs() {
+        let mut c1 = Conditioner::new();
+        c1.absorb(&BitVec::ones(1000), 1.0);
+        let mut c2 = Conditioner::new();
+        c2.absorb(&BitVec::zeros(1000), 1.0);
+        assert_ne!(c1.squeeze(32), c2.squeeze(32));
+    }
+
+    #[test]
+    fn absorbing_after_squeeze_replenishes() {
+        let mut c = Conditioner::new();
+        c.absorb(&BitVec::ones(512), 1.0);
+        let _ = c.squeeze(c.available_bytes()).unwrap();
+        c.absorb(&BitVec::zeros(512), 1.0);
+        assert!(c.available_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entropy per bit out of range")]
+    fn overunity_entropy_rejected() {
+        Conditioner::new().absorb(&BitVec::ones(8), 1.5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Min-entropy estimation for the raw noise stream.
+
+use pufbits::BitVec;
+pub use pufstats::entropy::mcv_estimate;
+
+/// Markov min-entropy estimate for a binary stream (SP 800-90B §6.3.3,
+/// binary specialization): bounds the per-bit min-entropy accounting for
+/// first-order dependence between consecutive bits.
+///
+/// Returns bits of min-entropy per symbol, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the stream has fewer than two bits.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use puftrng::estimate::markov_estimate;
+///
+/// // A perfectly alternating stream is fully predictable from its
+/// // predecessor even though it is unbiased.
+/// let alternating: BitVec = (0..4096).map(|i| i % 2 == 0).collect();
+/// assert!(markov_estimate(&alternating) < 0.02);
+/// ```
+pub fn markov_estimate(bits: &BitVec) -> f64 {
+    assert!(bits.len() >= 2, "markov estimate needs at least two bits");
+    // Transition counts.
+    let mut counts = [[0u64; 2]; 2];
+    let mut prev = usize::from(bits.get(0).expect("non-empty"));
+    for i in 1..bits.len() {
+        let cur = usize::from(bits.get(i).expect("in range"));
+        counts[prev][cur] += 1;
+        prev = cur;
+    }
+    let row_p = |row: [u64; 2]| -> [f64; 2] {
+        let total = (row[0] + row[1]) as f64;
+        if total == 0.0 {
+            [0.5, 0.5]
+        } else {
+            [row[0] as f64 / total, row[1] as f64 / total]
+        }
+    };
+    let p0 = row_p(counts[0]);
+    let p1 = row_p(counts[1]);
+    let ones = bits.count_ones() as f64 / bits.len() as f64;
+    let initial = [1.0 - ones, ones];
+
+    // Most probable length-128 sequence probability via dynamic
+    // programming over the two states (work in log2 space).
+    const L: usize = 128;
+    let log = |p: f64| if p > 0.0 { p.log2() } else { f64::NEG_INFINITY };
+    let trans = [[log(p0[0]), log(p0[1])], [log(p1[0]), log(p1[1])]];
+    let mut best = [log(initial[0]), log(initial[1])];
+    for _ in 1..L {
+        best = [
+            (best[0] + trans[0][0]).max(best[1] + trans[1][0]),
+            (best[0] + trans[0][1]).max(best[1] + trans[1][1]),
+        ];
+    }
+    let max_log = best[0].max(best[1]);
+    (-max_log / L as f64).clamp(0.0, 1.0)
+}
+
+/// Combined conservative estimate: the minimum of the most-common-value and
+/// Markov estimates, as SP 800-90B prescribes taking the minimum over all
+/// applicable estimators.
+///
+/// # Panics
+///
+/// Panics if the stream has fewer than two bits.
+pub fn conservative_estimate(bits: &BitVec) -> f64 {
+    let mcv = mcv_estimate(bits.count_ones() as u64, bits.len() as u64);
+    mcv.min(markov_estimate(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bernoulli(n: usize, p: f64, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() < p).collect()
+    }
+
+    #[test]
+    fn fair_iid_stream_estimates_near_one() {
+        let bits = bernoulli(200_000, 0.5, 130);
+        assert!(markov_estimate(&bits) > 0.95);
+        assert!(conservative_estimate(&bits) > 0.95);
+    }
+
+    #[test]
+    fn biased_stream_estimates_near_formula() {
+        let p: f64 = 0.8;
+        let bits = bernoulli(200_000, p, 131);
+        let h = markov_estimate(&bits);
+        assert!((h - (-p.log2())).abs() < 0.02, "h {h}");
+    }
+
+    #[test]
+    fn constant_stream_estimates_zero() {
+        let bits = BitVec::ones(4096);
+        assert_eq!(markov_estimate(&bits), 0.0);
+        assert_eq!(conservative_estimate(&bits), 0.0);
+    }
+
+    #[test]
+    fn markov_catches_dependence_that_mcv_misses() {
+        let alternating: BitVec = (0..8192).map(|i| i % 2 == 0).collect();
+        let mcv = mcv_estimate(
+            alternating.count_ones() as u64,
+            alternating.len() as u64,
+        );
+        assert!(mcv > 0.9, "mcv is blind to alternation: {mcv}");
+        assert!(markov_estimate(&alternating) < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bits")]
+    fn tiny_stream_rejected() {
+        markov_estimate(&BitVec::from_bits([true]));
+    }
+}

@@ -1,0 +1,358 @@
+//! Continuous health tests per NIST SP 800-90B §4.4.
+//!
+//! Both tests run on the raw (pre-conditioning) bit stream and are designed
+//! to catch total failure of the noise source — a stuck-at SRAM, a board
+//! returning constant buffers, a transport short-circuit — with false-alarm
+//! probability around `2^-20` per window at the claimed entropy level.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A health-test alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthFailure {
+    /// The repetition-count test saw too many identical symbols in a row.
+    RepetitionCount {
+        /// Length of the offending run.
+        run: u32,
+        /// The cutoff that was exceeded.
+        cutoff: u32,
+    },
+    /// The adaptive-proportion test saw one symbol dominate a window.
+    AdaptiveProportion {
+        /// Occurrences of the window's first symbol.
+        count: u32,
+        /// The cutoff that was exceeded.
+        cutoff: u32,
+    },
+}
+
+impl fmt::Display for HealthFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthFailure::RepetitionCount { run, cutoff } => {
+                write!(f, "repetition count {run} exceeded cutoff {cutoff}")
+            }
+            HealthFailure::AdaptiveProportion { count, cutoff } => {
+                write!(f, "adaptive proportion {count} exceeded cutoff {cutoff}")
+            }
+        }
+    }
+}
+
+impl Error for HealthFailure {}
+
+/// Repetition-count test (SP 800-90B §4.4.1): alarm when one symbol repeats
+/// `cutoff` times, where `cutoff = 1 + ⌈20 / H⌉` for a claimed per-bit
+/// min-entropy `H` (α = 2⁻²⁰).
+///
+/// # Examples
+///
+/// ```
+/// use puftrng::health::RepetitionCountTest;
+///
+/// let mut rct = RepetitionCountTest::new(0.03);
+/// // A healthy alternating stream never alarms.
+/// for i in 0..10_000 {
+///     rct.feed(i % 2 == 0).unwrap();
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepetitionCountTest {
+    cutoff: u32,
+    last: Option<bool>,
+    run: u32,
+}
+
+impl RepetitionCountTest {
+    /// Creates the test for a claimed per-bit min-entropy `h` (bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not in `(0, 1]`.
+    pub fn new(h: f64) -> Self {
+        assert!(h > 0.0 && h <= 1.0, "claimed entropy must be in (0, 1]");
+        Self {
+            cutoff: 1 + (20.0 / h).ceil() as u32,
+            last: None,
+            run: 0,
+        }
+    }
+
+    /// The alarm threshold in use.
+    pub fn cutoff(&self) -> u32 {
+        self.cutoff
+    }
+
+    /// Feeds one raw bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HealthFailure::RepetitionCount`] when the current run
+    /// reaches the cutoff; the test resets and may be fed again.
+    pub fn feed(&mut self, bit: bool) -> Result<(), HealthFailure> {
+        if self.last == Some(bit) {
+            self.run += 1;
+        } else {
+            self.last = Some(bit);
+            self.run = 1;
+        }
+        if self.run >= self.cutoff {
+            let run = self.run;
+            self.run = 0;
+            self.last = None;
+            return Err(HealthFailure::RepetitionCount {
+                run,
+                cutoff: self.cutoff,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Adaptive-proportion test (SP 800-90B §4.4.2), binary variant: within
+/// each 1 024-bit window, alarm if the window's first bit recurs more than
+/// the cutoff computed for the claimed entropy at α = 2⁻²⁰.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveProportionTest {
+    cutoff: u32,
+    window: u32,
+    seen: u32,
+    reference: Option<bool>,
+    matches: u32,
+}
+
+impl AdaptiveProportionTest {
+    /// Binary window length per SP 800-90B.
+    pub const WINDOW: u32 = 1024;
+
+    /// Creates the test for a claimed per-bit min-entropy `h`.
+    ///
+    /// The cutoff is the smallest `c` with
+    /// `P[Binomial(W−1, p) ≥ c − 1] ≤ 2⁻²⁰` where `p = 2^(−h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not in `(0, 1]`.
+    pub fn new(h: f64) -> Self {
+        assert!(h > 0.0 && h <= 1.0, "claimed entropy must be in (0, 1]");
+        let p = 2f64.powf(-h);
+        Self {
+            cutoff: Self::critical_value(Self::WINDOW - 1, p, 2f64.powi(-20)) + 1,
+            window: Self::WINDOW,
+            seen: 0,
+            reference: None,
+            matches: 0,
+        }
+    }
+
+    /// Smallest `c` such that `P[Binomial(n, p) ≥ c] ≤ alpha`, computed by
+    /// summing the upper tail exactly (in log space for stability).
+    fn critical_value(n: u32, p: f64, alpha: f64) -> u32 {
+        // Walk down from n accumulating the tail until it exceeds alpha.
+        let ln_p = p.ln();
+        let ln_q = (1.0 - p).ln();
+        let mut ln_choose = 0.0; // ln C(n, n) = 0
+        let mut tail = 0.0;
+        let mut k = n;
+        loop {
+            let ln_term = ln_choose + f64::from(k) * ln_p + f64::from(n - k) * ln_q;
+            tail += ln_term.exp();
+            if tail > alpha || k == 0 {
+                return (k + 1).min(n);
+            }
+            // C(n, k-1) = C(n, k) * k / (n-k+1)
+            ln_choose += (f64::from(k)).ln() - (f64::from(n - k + 1)).ln();
+            k -= 1;
+        }
+    }
+
+    /// The alarm threshold in use.
+    pub fn cutoff(&self) -> u32 {
+        self.cutoff
+    }
+
+    /// Feeds one raw bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HealthFailure::AdaptiveProportion`] when the window's
+    /// reference bit recurs past the cutoff; the window restarts.
+    pub fn feed(&mut self, bit: bool) -> Result<(), HealthFailure> {
+        match self.reference {
+            None => {
+                self.reference = Some(bit);
+                self.seen = 1;
+                self.matches = 1;
+                Ok(())
+            }
+            Some(reference) => {
+                self.seen += 1;
+                if bit == reference {
+                    self.matches += 1;
+                }
+                if self.matches >= self.cutoff {
+                    let count = self.matches;
+                    self.reference = None;
+                    return Err(HealthFailure::AdaptiveProportion {
+                        count,
+                        cutoff: self.cutoff,
+                    });
+                }
+                if self.seen >= self.window {
+                    self.reference = None;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Both continuous tests bundled, as a deployed source would run them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthMonitor {
+    rct: RepetitionCountTest,
+    apt: AdaptiveProportionTest,
+    bits_seen: u64,
+    alarms: u64,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor for a claimed per-bit min-entropy `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not in `(0, 1]`.
+    pub fn new(h: f64) -> Self {
+        Self {
+            rct: RepetitionCountTest::new(h),
+            apt: AdaptiveProportionTest::new(h),
+            bits_seen: 0,
+            alarms: 0,
+        }
+    }
+
+    /// Feeds one raw bit through both tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing test's alarm.
+    pub fn feed(&mut self, bit: bool) -> Result<(), HealthFailure> {
+        self.bits_seen += 1;
+        let result = self.rct.feed(bit).and(self.apt.feed(bit));
+        if result.is_err() {
+            self.alarms += 1;
+        }
+        result
+    }
+
+    /// Raw bits observed.
+    pub fn bits_seen(&self) -> u64 {
+        self.bits_seen
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rct_cutoff_formula() {
+        // H = 1 → cutoff 21; H = 0.03 → cutoff 1 + ceil(666.7) = 668.
+        assert_eq!(RepetitionCountTest::new(1.0).cutoff(), 21);
+        assert_eq!(RepetitionCountTest::new(0.03).cutoff(), 668);
+    }
+
+    #[test]
+    fn rct_alarms_on_stuck_source() {
+        let mut rct = RepetitionCountTest::new(0.5);
+        let cutoff = rct.cutoff();
+        let mut alarmed = None;
+        for i in 0..10_000u32 {
+            if rct.feed(true).is_err() {
+                alarmed = Some(i + 1);
+                break;
+            }
+        }
+        assert_eq!(alarmed, Some(cutoff));
+    }
+
+    #[test]
+    fn rct_resets_after_alarm() {
+        let mut rct = RepetitionCountTest::new(1.0);
+        for _ in 0..20 {
+            rct.feed(true).unwrap();
+        }
+        assert!(rct.feed(true).is_err());
+        // Feeding continues normally afterwards.
+        rct.feed(true).unwrap();
+    }
+
+    #[test]
+    fn apt_cutoff_is_sane() {
+        // For a fair source the cutoff sits well above W/2 but below W.
+        let apt = AdaptiveProportionTest::new(1.0);
+        assert!(apt.cutoff() > 512 && apt.cutoff() < 1024, "{}", apt.cutoff());
+        // Lower claimed entropy tolerates more repetition.
+        assert!(AdaptiveProportionTest::new(0.1).cutoff() > apt.cutoff());
+    }
+
+    #[test]
+    fn apt_alarms_on_heavy_bias() {
+        let mut apt = AdaptiveProportionTest::new(0.9);
+        let mut rng = StdRng::seed_from_u64(120);
+        let mut alarms = 0;
+        for _ in 0..100_000 {
+            // 99 % ones: grossly below the claimed 0.9 bits.
+            let bit = rng.gen::<f64>() < 0.99;
+            if apt.feed(bit).is_err() {
+                alarms += 1;
+            }
+        }
+        assert!(alarms > 10, "alarms {alarms}");
+    }
+
+    #[test]
+    fn healthy_fair_source_never_alarms() {
+        let mut monitor = HealthMonitor::new(0.9);
+        let mut rng = StdRng::seed_from_u64(121);
+        for _ in 0..200_000 {
+            monitor
+                .feed(rng.gen::<bool>())
+                .expect("fair source must stay healthy");
+        }
+        assert_eq!(monitor.alarms(), 0);
+        assert_eq!(monitor.bits_seen(), 200_000);
+    }
+
+    #[test]
+    fn sram_noise_stream_passes_at_its_claimed_entropy() {
+        // A stream with ~3 % min-entropy per bit, as the SRAM source
+        // provides, passes when the claim is honest.
+        let mut monitor = HealthMonitor::new(0.02);
+        let mut rng = StdRng::seed_from_u64(122);
+        for _ in 0..100_000 {
+            // Mixture: 97 % constant ones, 3 % fair bits ≈ 2-3 % entropy.
+            let bit = if rng.gen::<f64>() < 0.97 {
+                true
+            } else {
+                rng.gen::<bool>()
+            };
+            monitor.feed(bit).expect("honest claim must pass");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = HealthFailure::RepetitionCount { run: 30, cutoff: 21 };
+        assert!(e.to_string().contains("30"));
+    }
+}

@@ -1,0 +1,46 @@
+//! True random number generation from SRAM PUF noise with SP 800-90B
+//! health tests.
+//!
+//! The paper's §II-A2 application: electrical noise makes a fraction of
+//! SRAM cells power up unpredictably, so repeated power-ups of the same
+//! array are a physical entropy source. The paper's §IV-D2 result is that
+//! this source *improves* with silicon age (noise entropy 3.05 % → 3.64 %
+//! over two years) — more cells become metastable as NBTI erodes their
+//! skew.
+//!
+//! The stack implemented here mirrors the reference design of the paper's
+//! ref \[12\] (van der Leest et al.):
+//!
+//! * [`SramTrng`] — harvests raw bits from power-up patterns of cells
+//!   identified as unstable during a characterization phase;
+//! * [`health`] — continuous SP 800-90B health tests (repetition count and
+//!   adaptive proportion) on the raw stream;
+//! * [`conditioner`] — SHA-256-based conditioning with conservative
+//!   entropy accounting: raw bits are credited at the measured per-bit
+//!   min-entropy and compressed accordingly;
+//! * [`estimate`] — min-entropy estimators (most-common-value and Markov)
+//!   for the raw stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use puftrng::{SramTrng, TrngConfig};
+//! use sramcell::{SramArray, TechnologyProfile};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+//! let profile = TechnologyProfile::atmega32u4();
+//! let sram = SramArray::generate(&profile, 4096, &mut rng);
+//!
+//! let mut trng = SramTrng::characterize(sram, &TrngConfig::default(), &mut rng)?;
+//! let bytes = trng.generate(32, &mut rng)?;
+//! assert_eq!(bytes.len(), 32);
+//! # Ok::<(), puftrng::TrngError>(())
+//! ```
+
+pub mod conditioner;
+pub mod estimate;
+pub mod health;
+mod trng;
+
+pub use trng::{SramTrng, TrngConfig, TrngError};

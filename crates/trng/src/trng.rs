@@ -1,0 +1,304 @@
+//! The SRAM-PUF-based TRNG, assembled.
+
+use crate::conditioner::Conditioner;
+use crate::health::{HealthFailure, HealthMonitor};
+use pufbits::{BitVec, OnesCounter};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sramcell::{Environment, SramArray};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the TRNG stack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrngConfig {
+    /// Power-ups used to characterize which cells are unstable.
+    pub characterization_reads: u32,
+    /// Safety factor applied to the measured per-bit entropy when crediting
+    /// the conditioner (≤ 1.0; smaller is more conservative).
+    pub entropy_derating: f64,
+    /// Floor on the per-bit entropy claim fed to the health tests.
+    pub min_claimed_entropy: f64,
+}
+
+impl Default for TrngConfig {
+    fn default() -> Self {
+        Self {
+            characterization_reads: 100,
+            entropy_derating: 0.5,
+            min_claimed_entropy: 0.01,
+        }
+    }
+}
+
+/// Error from the TRNG.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrngError {
+    /// Characterization found no unstable cells — the array cannot serve
+    /// as an entropy source (e.g. a simulated stuck-at array).
+    NoEntropySource,
+    /// A continuous health test alarmed during generation.
+    Health(HealthFailure),
+}
+
+impl fmt::Display for TrngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrngError::NoEntropySource => {
+                write!(f, "no unstable cells found; array provides no entropy")
+            }
+            TrngError::Health(e) => write!(f, "health test alarm: {e}"),
+        }
+    }
+}
+
+impl Error for TrngError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrngError::Health(e) => Some(e),
+            TrngError::NoEntropySource => None,
+        }
+    }
+}
+
+impl From<HealthFailure> for TrngError {
+    fn from(e: HealthFailure) -> Self {
+        TrngError::Health(e)
+    }
+}
+
+/// A true random number generator over an SRAM array's power-up noise.
+///
+/// Built in two phases, mirroring the reference design of the paper's
+/// ref \[12\]:
+///
+/// 1. **Characterization** ([`characterize`](Self::characterize)): the array
+///    is powered up repeatedly; cells that flipped at least once form the
+///    *noise mask*, and the window's measured noise min-entropy (restricted
+///    to masked cells) sets the entropy claim.
+/// 2. **Generation** ([`generate`](Self::generate)): each power-up
+///    contributes its masked bits to the raw stream, which passes the
+///    continuous health tests and feeds the SHA-256 conditioner; output is
+///    released against the (derated) entropy credit.
+///
+/// The paper's §IV-D2 aging result shows up directly here: an aged array
+/// has more unstable cells and higher noise entropy, so
+/// [`raw_bits_per_readout`](Self::raw_bits_per_readout) and the credit per
+/// power-up both *increase* with device age.
+#[derive(Debug, Clone)]
+pub struct SramTrng {
+    sram: SramArray,
+    env: Environment,
+    mask: BitVec,
+    entropy_per_masked_bit: f64,
+    monitor: HealthMonitor,
+    conditioner: Conditioner,
+    readouts: u64,
+}
+
+impl SramTrng {
+    /// Characterizes `sram` and builds the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::NoEntropySource`] if no cell flipped during
+    /// characterization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.characterization_reads == 0` or the derating is
+    /// outside `(0, 1]`.
+    pub fn characterize<R: Rng + ?Sized>(
+        sram: SramArray,
+        config: &TrngConfig,
+        rng: &mut R,
+    ) -> Result<Self, TrngError> {
+        assert!(
+            config.characterization_reads > 0,
+            "characterization needs at least one read"
+        );
+        assert!(
+            config.entropy_derating > 0.0 && config.entropy_derating <= 1.0,
+            "derating must be in (0, 1]"
+        );
+        let env = Environment::nominal(sram.profile());
+        let mut counter = OnesCounter::new(sram.len());
+        for _ in 0..config.characterization_reads {
+            counter
+                .add(&sram.power_up(&env, rng))
+                .expect("constant width");
+        }
+        let mask = counter.unstable_mask();
+        if mask.count_ones() == 0 {
+            return Err(TrngError::NoEntropySource);
+        }
+        // Per-masked-bit min-entropy, measured over the characterization
+        // window and derated.
+        let probabilities = counter.one_probabilities();
+        let masked_entropy: f64 = probabilities
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask.get(i) == Some(true))
+            .map(|(_, &p)| pufstats::entropy::min_entropy_bit(p))
+            .sum::<f64>()
+            / mask.count_ones() as f64;
+        let entropy_per_masked_bit =
+            (masked_entropy * config.entropy_derating).max(config.min_claimed_entropy);
+        Ok(Self {
+            sram,
+            env,
+            mask,
+            entropy_per_masked_bit,
+            monitor: HealthMonitor::new(entropy_per_masked_bit.min(1.0)),
+            conditioner: Conditioner::new(),
+            readouts: 0,
+        })
+    }
+
+    /// Raw (masked) bits contributed per power-up.
+    pub fn raw_bits_per_readout(&self) -> usize {
+        self.mask.count_ones()
+    }
+
+    /// The per-masked-bit entropy credit in use.
+    pub fn entropy_per_bit(&self) -> f64 {
+        self.entropy_per_masked_bit
+    }
+
+    /// Power-ups consumed so far.
+    pub fn readouts(&self) -> u64 {
+        self.readouts
+    }
+
+    /// The health monitor (alarm counters).
+    pub fn monitor(&self) -> &HealthMonitor {
+        &self.monitor
+    }
+
+    /// Generates `n` conditioned random bytes, performing as many power-ups
+    /// as the entropy accounting requires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrngError::Health`] if a continuous health test alarms on
+    /// the raw stream.
+    pub fn generate<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, TrngError> {
+        loop {
+            if let Some(out) = self.conditioner.squeeze(n) {
+                return Ok(out);
+            }
+            let readout = self.sram.power_up(&self.env, rng);
+            self.readouts += 1;
+            let raw = readout.select(&self.mask);
+            for bit in raw.iter() {
+                self.monitor.feed(bit)?;
+            }
+            self.conditioner.absorb(&raw, self.entropy_per_masked_bit);
+        }
+    }
+
+    /// Power-ups needed per conditioned output byte at the current credit
+    /// rate — the paper's §IV-D2 "throughput" in inverse form.
+    pub fn readouts_per_byte(&self) -> f64 {
+        let credit_per_readout =
+            self.raw_bits_per_readout() as f64 * self.entropy_per_masked_bit;
+        16.0 / credit_per_readout // 8 bits × derating 2 in the conditioner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sramaging::{AgingSimulator, StressConditions};
+    use sramcell::{Cell, TechnologyProfile};
+
+    fn array(seed: u64, bits: usize) -> SramArray {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SramArray::generate(&TechnologyProfile::atmega32u4(), bits, &mut rng)
+    }
+
+    #[test]
+    fn generates_requested_bytes() {
+        let mut rng = StdRng::seed_from_u64(140);
+        let mut trng =
+            SramTrng::characterize(array(140, 8192), &TrngConfig::default(), &mut rng).unwrap();
+        let out = trng.generate(64, &mut rng).unwrap();
+        assert_eq!(out.len(), 64);
+        assert!(trng.readouts() > 0);
+        assert_eq!(trng.monitor().alarms(), 0);
+    }
+
+    #[test]
+    fn output_passes_statistical_tests() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let mut trng =
+            SramTrng::characterize(array(141, 8192), &TrngConfig::default(), &mut rng).unwrap();
+        let out = trng.generate(512, &mut rng).unwrap();
+        let bits = BitVec::from_bytes(&out);
+        for result in pufstats::randtests::suite(&bits).unwrap() {
+            assert!(result.passed, "{result}");
+        }
+    }
+
+    #[test]
+    fn stuck_array_is_rejected_at_characterization() {
+        let profile = TechnologyProfile::atmega32u4();
+        let cells = vec![Cell::new(50.0); 1024]; // all deeply skewed
+        let sram = SramArray::from_cells(&profile, cells);
+        let mut rng = StdRng::seed_from_u64(142);
+        let err = SramTrng::characterize(sram, &TrngConfig::default(), &mut rng).unwrap_err();
+        assert_eq!(err, TrngError::NoEntropySource);
+        assert!(err.to_string().contains("no unstable cells"));
+    }
+
+    #[test]
+    fn aged_device_yields_more_raw_bits_per_readout() {
+        // The paper's §IV-D2: aging improves the TRNG.
+        let profile = TechnologyProfile::atmega32u4();
+        let fresh = array(143, 16_384);
+        let mut aged = fresh.clone();
+        let mut sim = AgingSimulator::new(&profile, StressConditions::paper_campaign(&profile));
+        sim.advance(&mut aged, 2.0, 24);
+
+        let mut rng = StdRng::seed_from_u64(144);
+        let config = TrngConfig::default();
+        let trng_fresh = SramTrng::characterize(fresh, &config, &mut rng).unwrap();
+        let trng_aged = SramTrng::characterize(aged, &config, &mut rng).unwrap();
+        assert!(
+            trng_aged.raw_bits_per_readout() > trng_fresh.raw_bits_per_readout(),
+            "aged {} vs fresh {}",
+            trng_aged.raw_bits_per_readout(),
+            trng_fresh.raw_bits_per_readout()
+        );
+        assert!(trng_aged.readouts_per_byte() < trng_fresh.readouts_per_byte());
+    }
+
+    #[test]
+    fn entropy_claim_is_derated() {
+        let mut rng = StdRng::seed_from_u64(145);
+        let config = TrngConfig {
+            entropy_derating: 0.5,
+            ..TrngConfig::default()
+        };
+        let trng = SramTrng::characterize(array(145, 8192), &config, &mut rng).unwrap();
+        // Masked cells are the unstable ones; their average entropy is high
+        // (they flipped within 100 reads), and the claim is half of it.
+        assert!(trng.entropy_per_bit() > 0.0 && trng.entropy_per_bit() <= 0.5);
+    }
+
+    #[test]
+    fn successive_outputs_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(146);
+        let mut trng =
+            SramTrng::characterize(array(146, 8192), &TrngConfig::default(), &mut rng).unwrap();
+        let a = trng.generate(32, &mut rng).unwrap();
+        let b = trng.generate(32, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation of the aging model's data-independent drift component.
+//!
+//! DESIGN.md motivates the two-component drift law with a shape argument:
+//! a *pure* toward-balance NBTI drift (`beta = 0`) piles cells up at the
+//! metastable point and makes noise entropy grow twice as fast as WCHD,
+//! while the paper measures both growing at the same +19.3 % over two
+//! years. This ablation prints the 24-month Table I changes for a sweep of
+//! `beta`, holding the WCHD endpoint fixed by re-fitting the prefactor at
+//! every step — so the *only* thing that varies is how the unstable band
+//! turns over.
+//!
+//! ```text
+//! cargo run --release --example ablation_bias_ratio
+//! ```
+
+use sram_puf_longterm::sramaging::calibrate::fit_prefactor;
+use sram_puf_longterm::sramaging::{analytic_series, BtiModel};
+use sram_puf_longterm::sramcell::TechnologyProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = TechnologyProfile::atmega32u4();
+    let duty = 3.8 / 5.4;
+
+    println!("bias-ratio ablation: 24-month relative changes with the WCHD");
+    println!("endpoint pinned to the paper's 2.97 % (paper row for reference)\n");
+    println!(
+        "{:<22} {:>10} {:>14} {:>14} {:>12}",
+        "beta", "wchd Δ", "noise-ent Δ", "stable Δ", "hw Δ"
+    );
+    println!(
+        "{:<22} {:>10} {:>14} {:>14} {:>12}",
+        "paper (measured)", "+19.3%", "+19.3%", "-2.49%", "~0%"
+    );
+
+    for beta in [0.0, 0.5, 1.0, profile.bti_bias_ratio, 4.0] {
+        let a = fit_prefactor(&profile.population, 0.2, beta, duty, 24, 0.0297)?;
+        let bti = BtiModel::with_bias_ratio(a, 0.2, beta);
+        let series = analytic_series(&profile.population, bti, duty, 24, 1000);
+        let (s, e) = (&series[0], &series[24]);
+        let rel = |a: f64, b: f64| (b / a - 1.0) * 100.0;
+        let label = if (beta - profile.bti_bias_ratio).abs() < 1e-9 {
+            format!("{beta:.3} (calibrated)")
+        } else {
+            format!("{beta:.3}")
+        };
+        println!(
+            "{:<22} {:>9.1}% {:>13.1}% {:>13.2}% {:>11.2}%",
+            label,
+            rel(s.wchd, e.wchd),
+            rel(s.noise_entropy, e.noise_entropy),
+            rel(s.stable_ratio, e.stable_ratio),
+            rel(s.fhw, e.fhw),
+        );
+    }
+
+    println!(
+        "\nReading: WCHD is pinned, so its row is flat by construction; the\n\
+         noise-entropy growth falls monotonically with beta and crosses the\n\
+         paper's +19.3 % at the calibrated value. beta also affects how many\n\
+         fully-stable cells convert (stable Δ), while the Hamming weight is\n\
+         insensitive throughout — matching the paper's 'negligible' rows."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The paper's central comparison (§IV-D, §V): reliability degradation
+//! under *nominal* conditions versus the *accelerated*-aging extrapolation
+//! of the earlier literature — printed as monthly WCHD trajectories.
+//!
+//! ```text
+//! cargo run --release --example accelerated_vs_nominal
+//! ```
+
+use sram_puf_longterm::sramaging::accelerated::comparison;
+use sram_puf_longterm::sramaging::compound_monthly_rate;
+
+fn main() {
+    let months = 24;
+    let (nominal, accelerated) = comparison(months);
+
+    println!("WCHD development, nominal vs accelerated ({} months)\n", months);
+    println!(
+        "{:<7} {:>22} {:>24}",
+        "month", nominal.label, accelerated.label
+    );
+    for m in (0..=months as usize).step_by(3) {
+        println!(
+            "{:<7} {:>21.3}% {:>23.3}%",
+            m,
+            nominal.series[m].wchd * 100.0,
+            accelerated.series[m].wchd * 100.0
+        );
+    }
+
+    println!("\ncompound monthly WCHD growth:");
+    println!(
+        "  nominal     {:+.2}%/month   (paper: +0.74%)",
+        nominal.monthly_wchd_rate * 100.0
+    );
+    println!(
+        "  accelerated {:+.2}%/month   (paper: +1.28%)",
+        accelerated.monthly_wchd_rate * 100.0
+    );
+    println!(
+        "  ratio       {:.2}×          (paper: ≈1.73×)",
+        accelerated.monthly_wchd_rate / nominal.monthly_wchd_rate
+    );
+
+    // The early-life deceleration visible in Fig. 6a: the first year moves
+    // faster than the second.
+    let y1 = compound_monthly_rate(nominal.series[0].wchd, nominal.series[12].wchd, 12);
+    let y2 = compound_monthly_rate(nominal.series[12].wchd, nominal.series[24].wchd, 12);
+    println!(
+        "\nnominal first-year rate {:+.2}%/mo vs second-year {:+.2}%/mo — the\n\
+         power-law deceleration the paper reports in §IV-D.",
+        y1 * 100.0,
+        y2 * 100.0
+    );
+    println!(
+        "\nConclusion (paper §V): accelerated testing overestimates field\n\
+         reliability loss by ~{:.0}%.",
+        (accelerated.monthly_wchd_rate / nominal.monthly_wchd_rate - 1.0) * 100.0
+    );
+}

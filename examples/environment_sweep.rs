@@ -1,0 +1,60 @@
+//! Environment sweep: temperature and supply-ramp effects on reliability.
+//!
+//! The paper runs at room temperature and notes (§II, ref [17]) that
+//! temperature and supply ramp time modulate the power-up noise. This
+//! example sweeps both knobs on a fixed device and reports the measured
+//! within-class Hamming distance and stable-cell ratio — the
+//! environment-sensitivity companion to the aging study.
+//!
+//! ```text
+//! cargo run --release --example environment_sweep
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_puf_longterm::pufbits::OnesCounter;
+use sram_puf_longterm::sramcell::{Environment, SramArray, TechnologyProfile};
+
+fn measure(sram: &SramArray, env: &Environment, rng: &mut StdRng) -> (f64, f64) {
+    let reads = 200;
+    let reference = sram.power_up(env, rng);
+    let mut counter = OnesCounter::new(sram.len());
+    let mut fhd = 0.0;
+    for _ in 0..reads {
+        let r = sram.power_up(env, rng);
+        fhd += r.fractional_hamming_distance(&reference);
+        counter.add(&r).expect("constant width");
+    }
+    (fhd / f64::from(reads), counter.stable_cell_ratio())
+}
+
+fn main() {
+    let profile = TechnologyProfile::atmega32u4();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let sram = SramArray::generate(&profile, 8192, &mut rng);
+    let nominal = Environment::nominal(&profile);
+
+    println!("temperature sweep (nominal ramp, 200 reads per point)\n");
+    println!("{:>8}  {:>8}  {:>12}", "temp °C", "WCHD", "stable cells");
+    for temp_c in [-40.0, 0.0, 25.0, 60.0, 85.0, 105.0] {
+        let env = Environment { temp_c, ..nominal };
+        let (wchd, stable) = measure(&sram, &env, &mut rng);
+        println!("{temp_c:>8}  {:>7.2}%  {:>11.1}%", wchd * 100.0, stable * 100.0);
+    }
+
+    println!("\nsupply ramp sweep (room temperature)\n");
+    println!("{:>9}  {:>8}  {:>12}", "ramp µs", "WCHD", "stable cells");
+    for ramp_us in [10.0, 50.0, 100.0, 200.0, 400.0] {
+        let env = Environment { ramp_us, ..nominal };
+        let (wchd, stable) = measure(&sram, &env, &mut rng);
+        println!("{ramp_us:>9}  {:>7.2}%  {:>11.1}%", wchd * 100.0, stable * 100.0);
+    }
+
+    println!(
+        "\nReading: heat and fast ramps raise the effective power-up noise,\n\
+         destabilizing marginal cells (higher WCHD, fewer stable cells) —\n\
+         the mechanism behind the intelligent ramp-time adaptation of the\n\
+         paper's ref [17]. Slow ramps do the opposite, which a TRNG design\n\
+         must treat as an entropy hazard."
+    );
+}

@@ -1,0 +1,74 @@
+//! Key lifecycle under aging: enroll a device at the start of its life and
+//! try to reconstruct the key every three months for eight years — four
+//! times the paper's measured span — sweeping the inner repetition factor.
+//!
+//! Demonstrates the paper's §IV-D1 conclusion: the reliability loss from
+//! nominal aging stays "well within the boundary" of what the
+//! error-correcting layer absorbs.
+//!
+//! ```text
+//! cargo run --release --example key_lifecycle
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_puf_longterm::pufkeygen::KeyGenerator;
+use sram_puf_longterm::sramaging::{AgingSimulator, StressConditions};
+use sram_puf_longterm::sramcell::{Environment, SramArray, TechnologyProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = TechnologyProfile::atmega32u4();
+    let env = Environment::nominal(&profile);
+    let attempts_per_step = 25;
+    let step_months = 3u32;
+    let total_months = 96u32;
+
+    println!("key reconstruction success under nominal aging (per {attempts_per_step} attempts)");
+    println!("device: 8 KiBit SRAM, paper duty cycle, room temperature\n");
+    println!(
+        "{:<8} {:>10}  {}",
+        "months", "raw BER", "success by repetition factor (3 / 5 / 7)"
+    );
+
+    for repetition in [3usize, 5, 7] {
+        let mut rng = StdRng::seed_from_u64(96 + repetition as u64);
+        let mut sram = SramArray::generate(&profile, 8192, &mut rng);
+        let generator = KeyGenerator::new(128, repetition);
+        let reference = sram.power_up(&env, &mut rng);
+        let enrollment = generator.enroll(&reference, &mut rng)?;
+        let mut sim = AgingSimulator::new(&profile, StressConditions::paper_campaign(&profile));
+
+        println!("-- repetition {repetition} --");
+        let mut month = 0;
+        while month <= total_months {
+            let mut successes = 0;
+            let mut ber_acc = 0.0;
+            for _ in 0..attempts_per_step {
+                let readout = sram.power_up(&env, &mut rng);
+                ber_acc += readout.fractional_hamming_distance(&reference);
+                if generator
+                    .reconstruct(&readout, &enrollment.helper)
+                    .map(|k| k == enrollment.key)
+                    .unwrap_or(false)
+                {
+                    successes += 1;
+                }
+            }
+            println!(
+                "{:<8} {:>9.2}%  {:>3}/{}",
+                month,
+                ber_acc / f64::from(attempts_per_step) * 100.0,
+                successes,
+                attempts_per_step
+            );
+            sim.advance(&mut sram, f64::from(step_months) / 12.0, step_months * 2);
+            month += step_months;
+        }
+        println!();
+    }
+    println!(
+        "Reading: even repetition-3 holds for years; the paper-dimensioned\n\
+         repetition-5 concatenation keeps a comfortable margin at 8 years."
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: manufacture a simulated SRAM PUF device, measure the three
+//! §IV-A quality metrics, derive a key, and draw random bytes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_puf_longterm::pufbits::BitMatrix;
+use sram_puf_longterm::pufkeygen::KeyGenerator;
+use sram_puf_longterm::puftrng::{SramTrng, TrngConfig};
+use sram_puf_longterm::sramcell::{Environment, SramArray, TechnologyProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let profile = TechnologyProfile::atmega32u4();
+    let env = Environment::nominal(&profile);
+
+    // Manufacture two devices: 1 KB of SRAM each, like the paper's read-out.
+    let device_a = SramArray::generate(&profile, 8 * 1024, &mut rng);
+    let device_b = SramArray::generate(&profile, 8 * 1024, &mut rng);
+
+    // --- Reliability: within-class Hamming distance -----------------------
+    let reference = device_a.power_up(&env, &mut rng);
+    let window: BitMatrix = (0..100)
+        .map(|_| device_a.power_up(&env, &mut rng))
+        .collect();
+    let wchd = sram_puf_longterm::pufassess::metrics::within_class_hd(&window, &reference);
+    println!("within-class HD  (reliability): {:.2}%  (paper: ~2.5%)", wchd * 100.0);
+
+    // --- Uniqueness: between-class Hamming distance -----------------------
+    let other = device_b.power_up(&env, &mut rng);
+    let bchd = reference.fractional_hamming_distance(&other);
+    println!("between-class HD (uniqueness):  {:.2}%  (paper: 40-50%)", bchd * 100.0);
+
+    // --- Bias: fractional Hamming weight ----------------------------------
+    println!(
+        "fractional HW    (bias):        {:.2}%  (paper: 60-70%)",
+        reference.fractional_hamming_weight() * 100.0
+    );
+
+    // --- Key generation (§II-A1) ------------------------------------------
+    let generator = KeyGenerator::paper_default();
+    let enrollment = generator.enroll(&reference, &mut rng)?;
+    let key = generator.reconstruct(&device_a.power_up(&env, &mut rng), &enrollment.helper)?;
+    assert_eq!(key, enrollment.key);
+    println!("\nenrolled and reconstructed a 256-bit key: {}", hex(&key[..8]));
+
+    // --- True random number generation (§II-A2) ---------------------------
+    let mut trng = SramTrng::characterize(device_a, &TrngConfig::default(), &mut rng)?;
+    let random = trng.generate(16, &mut rng)?;
+    println!(
+        "drew {} random bytes from SRAM noise ({} power-ups): {}",
+        random.len(),
+        trng.readouts(),
+        hex(&random)
+    );
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

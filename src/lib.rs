@@ -1,0 +1,23 @@
+//! Facade crate for the SRAM PUF long-term assessment workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can address the whole system. See the individual crates
+//! for the substantive documentation:
+//!
+//! * [`pufbits`] — packed bit vectors and Hamming-space utilities.
+//! * [`pufstats`] — histograms, descriptive statistics, entropy estimators.
+//! * [`sramcell`] — 6T SRAM cell power-up model and technology profiles.
+//! * [`sramaging`] — NBTI/PBTI aging under nominal and accelerated stress.
+//! * [`puftestbed`] — the simulated measurement rig of the paper's Fig. 2.
+//! * [`pufassess`] — the paper's evaluation protocols (the core contribution).
+//! * [`pufkeygen`] — fuzzy-extractor key generation on top of the PUF.
+//! * [`puftrng`] — true random number generation from SRAM noise.
+
+pub use pufassess;
+pub use pufbits;
+pub use pufkeygen;
+pub use pufstats;
+pub use puftestbed;
+pub use puftrng;
+pub use sramaging;
+pub use sramcell;

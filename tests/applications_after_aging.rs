@@ -1,0 +1,87 @@
+//! Integration: the two §II-A applications (key generation, TRNG) running
+//! against devices aged by the testbed rig.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sram_puf_longterm::pufkeygen::{KeyError, KeyGenerator};
+use sram_puf_longterm::puftestbed::{BoardId, SlaveBoard};
+use sram_puf_longterm::puftrng::{SramTrng, TrngConfig};
+use sram_puf_longterm::sramcell::TechnologyProfile;
+
+#[test]
+fn keys_enrolled_on_fresh_boards_survive_the_campaign_span() {
+    let profile = TechnologyProfile::atmega32u4();
+    let mut rng = StdRng::seed_from_u64(7001);
+    let generator = KeyGenerator::paper_default();
+
+    for board_idx in 0..4u8 {
+        let mut board = SlaveBoard::new(BoardId(board_idx), &profile, 8192, 8192, &mut rng);
+        let enrollment = generator
+            .enroll(&board.power_cycle(&mut rng), &mut rng)
+            .expect("1 KB read-out carries enough material");
+        board.age(2.0, 24); // the paper's two years
+        for attempt in 0..5 {
+            let key = generator
+                .reconstruct(&board.power_cycle(&mut rng), &enrollment.helper)
+                .unwrap_or_else(|e| panic!("board {board_idx} attempt {attempt}: {e}"));
+            assert_eq!(key, enrollment.key);
+        }
+    }
+}
+
+#[test]
+fn cross_board_reconstruction_always_fails() {
+    let profile = TechnologyProfile::atmega32u4();
+    let mut rng = StdRng::seed_from_u64(7002);
+    let generator = KeyGenerator::paper_default();
+    let mut enroll_board = SlaveBoard::new(BoardId(0), &profile, 8192, 8192, &mut rng);
+    let mut other_board = SlaveBoard::new(BoardId(1), &profile, 8192, 8192, &mut rng);
+    let enrollment = generator
+        .enroll(&enroll_board.power_cycle(&mut rng), &mut rng)
+        .unwrap();
+    for _ in 0..5 {
+        let err = generator
+            .reconstruct(&other_board.power_cycle(&mut rng), &enrollment.helper)
+            .expect_err("a different device must never reconstruct the key");
+        assert_eq!(err, KeyError::CheckMismatch);
+    }
+}
+
+#[test]
+fn trng_from_an_aged_board_is_healthy_and_faster() {
+    let profile = TechnologyProfile::atmega32u4();
+    let mut rng = StdRng::seed_from_u64(7003);
+    let mut board = SlaveBoard::new(BoardId(0), &profile, 8192, 8192, &mut rng);
+    let config = TrngConfig::default();
+
+    let fresh =
+        SramTrng::characterize(board.sram().clone(), &config, &mut rng).expect("fresh source");
+    board.age(2.0, 24);
+    let mut aged =
+        SramTrng::characterize(board.sram().clone(), &config, &mut rng).expect("aged source");
+
+    // §IV-D2: the aged device needs no more power-ups per byte than the
+    // fresh one (usually strictly fewer).
+    assert!(aged.readouts_per_byte() <= fresh.readouts_per_byte() * 1.02);
+
+    let bytes = aged.generate(256, &mut rng).expect("healthy generation");
+    assert_eq!(bytes.len(), 256);
+    assert_eq!(aged.monitor().alarms(), 0);
+}
+
+#[test]
+fn key_material_requirements_scale_with_repetition() {
+    let profile = TechnologyProfile::atmega32u4();
+    let mut rng = StdRng::seed_from_u64(7004);
+    let board = SlaveBoard::new(BoardId(0), &profile, 4096, 4096, &mut rng);
+    let mut b = board;
+    let response = b.power_cycle(&mut rng);
+    // Repetition-3 fits in a 4 KiBit response; repetition-9 does not
+    // (11 Golay blocks × 23 bits × 9 ≈ 2 277 debiased bits needed, but a
+    // 4 096-bit biased response yields only ~950).
+    assert!(KeyGenerator::new(128, 3).enroll(&response, &mut rng).is_ok());
+    let err = KeyGenerator::new(128, 9)
+        .enroll(&response, &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, KeyError::InsufficientMaterial { .. }));
+}
