@@ -8,14 +8,13 @@
 //! of that comparison.
 
 use crate::{analytic_series, compound_monthly_rate, BtiModel, ExpectedMetrics};
-use serde::{Deserialize, Serialize};
 use sramcell::TechnologyProfile;
 
 /// The paper's power-cycle duty: 3.8 s on out of each 5.4 s cycle (Fig. 3).
 pub const PAPER_DUTY: f64 = 3.8 / 5.4;
 
 /// One side of the nominal-vs-accelerated comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgingStudy {
     /// Label, e.g. `"nominal (this paper)"`.
     pub label: String,

@@ -1,6 +1,5 @@
 //! The BTI power-law drift kernel.
 
-use serde::{Deserialize, Serialize};
 use sramcell::TechnologyProfile;
 
 /// Bias-temperature-instability drift law: cumulative threshold drift after
@@ -22,7 +21,7 @@ use sramcell::TechnologyProfile;
 /// let last = bti.drift_increment(23.0 / 12.0, 2.0);
 /// assert!(first > 5.0 * last);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BtiModel {
     /// Drift prefactor `A` in noise-sigma units per `year^n`.
     pub prefactor: f64,

@@ -211,8 +211,7 @@ mod tests {
     fn acceleration_fit_reproduces_host14_endpoint() {
         let profile = TechnologyProfile::cmos65nm();
         let bti = BtiModel::from_profile(&profile);
-        let af =
-            fit_acceleration_factor(&profile.population, bti, 3.8 / 5.4, 24, 0.072).unwrap();
+        let af = fit_acceleration_factor(&profile.population, bti, 3.8 / 5.4, 24, 0.072).unwrap();
         assert!(af > 1.0, "accelerated aging needs af > 1, got {af}");
         let series = analytic_series(&profile.population, bti, 3.8 / 5.4 * af, 24, 1000);
         assert!((series[24].wchd - 0.072).abs() < 5e-4);

@@ -11,11 +11,10 @@
 
 use crate::BtiModel;
 use pufstats::normal::{pdf, phi};
-use serde::{Deserialize, Serialize};
 use sramcell::PopulationModel;
 
 /// Expected values of the paper's metrics at one point in time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExpectedMetrics {
     /// Months since the start of the test (0 = fresh reference).
     pub month: u32,
@@ -151,8 +150,7 @@ pub fn analytic_series(
     for month in 1..=months {
         for s in 0..SUBSTEPS {
             let frac0 = (f64::from(month - 1) + f64::from(s) / f64::from(SUBSTEPS)) / 12.0;
-            let frac1 =
-                (f64::from(month - 1) + f64::from(s + 1) / f64::from(SUBSTEPS)) / 12.0;
+            let frac1 = (f64::from(month - 1) + f64::from(s + 1) / f64::from(SUBSTEPS)) / 12.0;
             let dg = bti.drift_increment(frac0 * stress_rate, frac1 * stress_rate);
             if dg > 0.0 {
                 for (mi, &ei) in m.iter_mut().zip(&eta) {
@@ -323,8 +321,14 @@ mod tests {
         let series = paper_series(24);
         let (start, end) = (series[0], series[24]);
         assert!(end.wchd > start.wchd, "reliability degrades");
-        assert!(end.noise_entropy > start.noise_entropy, "randomness improves");
-        assert!(end.stable_ratio < start.stable_ratio, "stable cells decrease");
+        assert!(
+            end.noise_entropy > start.noise_entropy,
+            "randomness improves"
+        );
+        assert!(
+            end.stable_ratio < start.stable_ratio,
+            "stable cells decrease"
+        );
         // Uniqueness untouched (paper: negligible).
         assert!((end.fhw - start.fhw).abs() / start.fhw < 0.01);
         assert!((end.bchd - start.bchd).abs() / start.bchd < 0.01);

@@ -2,7 +2,6 @@
 
 use crate::BtiModel;
 use pufstats::normal::phi;
-use serde::{Deserialize, Serialize};
 use sramcell::{Environment, SramArray, TechnologyProfile};
 
 /// The stress conditions a device experiences between read-outs.
@@ -23,7 +22,7 @@ use sramcell::{Environment, SramArray, TechnologyProfile};
 /// assert!((c.duty_on_fraction - 3.8 / 5.4).abs() < 1e-12);
 /// assert!((c.stress_rate(&p) - 3.8 / 5.4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StressConditions {
     /// Fraction of wall time the device is powered (0..=1).
     pub duty_on_fraction: f64,
@@ -107,7 +106,7 @@ impl StressConditions {
 /// sim.advance(&mut sram, 1.0, 12);
 /// assert!((sim.stress_age_years() - 3.8 / 5.4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AgingSimulator {
     bti: BtiModel,
     conditions: StressConditions,
@@ -322,8 +321,7 @@ mod tests {
     fn foreign_array_rejected() {
         let (profile, _) = fresh(16, 23);
         let mut rng = StdRng::seed_from_u64(9);
-        let mut foreign =
-            SramArray::generate(&TechnologyProfile::cmos65nm(), 16, &mut rng);
+        let mut foreign = SramArray::generate(&TechnologyProfile::cmos65nm(), 16, &mut rng);
         let mut sim = AgingSimulator::new(&profile, StressConditions::always_on(&profile));
         sim.advance(&mut foreign, 1.0, 1);
     }

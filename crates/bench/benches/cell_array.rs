@@ -6,7 +6,7 @@ use pufbits::{BitVec, OnesCounter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sramaging::{AgingSimulator, StressConditions};
-use sramcell::{Environment, SramArray, TechnologyProfile};
+use sramcell::{Environment, PowerUpKernel, SramArray, TechnologyProfile};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -20,6 +20,22 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("power_up_8192_cells", |b| {
         b.iter(|| black_box(sram.power_up(&env, &mut rng)));
+    });
+
+    // The campaign engine's fast path: cached thresholds + block noise +
+    // word packing. Compare against `power_up_8192_cells` (the scalar path).
+    group.bench_function("power_up_batched_8192_cells", |b| {
+        let mut kernel = PowerUpKernel::new();
+        kernel.power_up(&sram, &env, &mut rng);
+        b.iter(|| black_box(kernel.power_up(&sram, &env, &mut rng)));
+    });
+
+    // Cold cache: thresholds rebuilt every call, as after an aging step.
+    group.bench_function("power_up_batched_cold_8192_cells", |b| {
+        b.iter(|| {
+            let mut kernel = PowerUpKernel::new();
+            black_box(kernel.power_up(&sram, &env, &mut rng))
+        });
     });
 
     group.bench_function("ones_counter_add_8192", |b| {

@@ -29,7 +29,13 @@ fn bench(c: &mut Criterion) {
 
     group.bench_function("reconstruct_128bit_key", |b| {
         let response = sram.power_up(&env, &mut rng);
-        b.iter(|| black_box(generator.reconstruct(&response, &enrollment.helper).unwrap()));
+        b.iter(|| {
+            black_box(
+                generator
+                    .reconstruct(&response, &enrollment.helper)
+                    .unwrap(),
+            )
+        });
     });
 
     group.bench_function("golay_decode_3_errors", |b| {

@@ -3,12 +3,22 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pufassess::Assessment;
-use pufbench::{run_campaign, Scale};
+use pufbench::{run_campaign, run_campaign_with, Scale};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
+
+    // Campaign (simulation) cost of the sharded engine at 1 vs 8 worker
+    // threads — the records are identical, only wall-clock changes.
+    group.bench_function("campaign_smoke_threads_1", |b| {
+        b.iter(|| black_box(run_campaign_with(Scale::Smoke, 7, 1)));
+    });
+
+    group.bench_function("campaign_smoke_threads_8", |b| {
+        b.iter(|| black_box(run_campaign_with(Scale::Smoke, 7, 8)));
+    });
 
     // Separate the campaign (simulation) cost from the assessment
     // (analysis) cost: the paper's pipeline is dominated by the latter once

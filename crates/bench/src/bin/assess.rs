@@ -4,20 +4,22 @@
 //!
 //! ```text
 //! assess --in records.jsonl [--reads 1000] [--eval-day 8] [--csv PREFIX]
+//!        [--threads N]
 //! ```
 
 use pufassess::monthly::{select_windows, EvaluationProtocol};
 use pufassess::report::{self, Series};
 use pufassess::{fit, Assessment};
-use puftestbed::store::read_json_lines;
+use puftestbed::store::Record;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader};
 use std::process::exit;
 
 fn main() {
     let mut input: Option<String> = None;
     let mut csv_prefix: Option<String> = None;
     let mut protocol = EvaluationProtocol::default();
+    let mut threads = pufbench::default_threads();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -33,9 +35,17 @@ fn main() {
             "--reads" => protocol.reads_per_window = parse(value(), "--reads"),
             "--eval-day" => protocol.eval_day = parse(value(), "--eval-day"),
             "--csv" => csv_prefix = Some(value().clone()),
+            "--threads" => {
+                threads = parse(value(), "--threads");
+                if threads == 0 {
+                    eprintln!("--threads must be positive");
+                    exit(2);
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: assess --in FILE [--reads N] [--eval-day D] [--csv PREFIX]"
+                    "usage: assess --in FILE [--reads N] [--eval-day D] [--csv PREFIX] \
+                     [--threads N]"
                 );
                 return;
             }
@@ -54,17 +64,14 @@ fn main() {
         eprintln!("cannot open {input}: {e}");
         exit(1);
     });
-    let mut skipped = 0u64;
-    let records: Vec<_> = read_json_lines(BufReader::new(file))
-        .filter_map(|r| match r {
-            Ok(record) => Some(record),
-            Err(e) => {
-                skipped += 1;
-                eprintln!("skipping malformed line: {e}");
-                None
-            }
-        })
-        .collect();
+    let lines: Vec<String> = BufReader::new(file)
+        .lines()
+        .collect::<Result<_, _>>()
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {input}: {e}");
+            exit(1);
+        });
+    let (records, skipped) = parse_records(&lines, threads);
     eprintln!("loaded {} records ({skipped} skipped)", records.len());
 
     let assessment = Assessment::from_records(&records, &protocol).unwrap_or_else(|e| {
@@ -86,7 +93,10 @@ fn main() {
         .map(|w| w.year_month)
         .min()
         .expect("non-empty assessment");
-    println!("{:<8} {:>10} {:>10} {:>12}", "device", "mu", "sigma", "pred. WCHD");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}",
+        "device", "mu", "sigma", "pred. WCHD"
+    );
     for window in windows.iter().filter(|w| w.year_month == first_month) {
         match fit::fit_population(&window.counter) {
             Ok(pop) => println!(
@@ -103,17 +113,62 @@ fn main() {
     if let Some(prefix) = csv_prefix {
         let devices = format!("{prefix}_devices.csv");
         let aggregates = format!("{prefix}_aggregates.csv");
-        std::fs::write(&devices, report::device_series_csv(&assessment))
-            .unwrap_or_else(|e| {
-                eprintln!("cannot write {devices}: {e}");
-                exit(1);
-            });
+        std::fs::write(&devices, report::device_series_csv(&assessment)).unwrap_or_else(|e| {
+            eprintln!("cannot write {devices}: {e}");
+            exit(1);
+        });
         std::fs::write(&aggregates, report::aggregate_csv(&assessment)).unwrap_or_else(|e| {
             eprintln!("cannot write {aggregates}: {e}");
             exit(1);
         });
         eprintln!("wrote {devices} and {aggregates}");
     }
+}
+
+/// Parses JSON lines into records, sharding the lines across `threads`
+/// workers. Line order is preserved (chunks are concatenated in order), so
+/// the result is identical to a sequential parse; malformed and blank lines
+/// are counted and reported exactly as before.
+fn parse_records(lines: &[String], threads: usize) -> (Vec<Record>, u64) {
+    let chunk_len = lines.len().div_ceil(threads.max(1)).max(1);
+    let parse_chunk = |chunk: &[String]| {
+        let mut records = Vec::with_capacity(chunk.len());
+        let mut skipped = 0u64;
+        for line in chunk {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Record::parse_json_line(line) {
+                Ok(record) => records.push(record),
+                Err(e) => {
+                    skipped += 1;
+                    eprintln!("skipping malformed line: {e}");
+                }
+            }
+        }
+        (records, skipped)
+    };
+    let outputs: Vec<(Vec<Record>, u64)> = if threads <= 1 || lines.len() <= chunk_len {
+        lines.chunks(chunk_len.max(1)).map(parse_chunk).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lines
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || parse_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parser worker panicked"))
+                .collect()
+        })
+    };
+    let mut records = Vec::with_capacity(lines.len());
+    let mut skipped = 0u64;
+    for (mut chunk_records, chunk_skipped) in outputs {
+        records.append(&mut chunk_records);
+        skipped += chunk_skipped;
+    }
+    (records, skipped)
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! campaign --out records.jsonl [--boards 16] [--months 24] [--reads 1000]
-//!          [--read-bits 8192] [--seed 2017] [--nack-rate 0.0]
+//!          [--read-bits 8192] [--seed 2017] [--nack-rate 0.0] [--threads N]
 //! ```
 //!
 //! Pair with the `assess` binary to analyse the file.
@@ -19,6 +19,7 @@ fn main() {
     let mut config = CampaignConfig::default();
     let mut out: Option<String> = None;
     let mut seed = 2017u64;
+    let mut threads = pufbench::default_threads();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -40,10 +41,17 @@ fn main() {
             }
             "--seed" => seed = parse(value(), "--seed"),
             "--nack-rate" => config.i2c_nack_rate = parse(value(), "--nack-rate"),
+            "--threads" => {
+                threads = parse(value(), "--threads");
+                if threads == 0 {
+                    eprintln!("--threads must be positive");
+                    exit(2);
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign --out FILE [--boards N] [--months N] [--reads N] \
-                     [--read-bits N] [--seed N] [--nack-rate P]"
+                     [--read-bits N] [--seed N] [--nack-rate P] [--threads N]"
                 );
                 return;
             }
@@ -59,7 +67,7 @@ fn main() {
     };
 
     eprintln!(
-        "campaign: {} boards × {} months × {} reads/window × {} bits → {out}",
+        "campaign: {} boards × {} months × {} reads/window × {} bits → {out} ({threads} threads)",
         config.boards, config.months, config.reads_per_window, config.read_bits
     );
     let file = File::create(&out).unwrap_or_else(|e| {
@@ -67,7 +75,7 @@ fn main() {
         exit(1);
     });
     let mut sink = JsonLinesSink::new(BufWriter::new(file));
-    let mut campaign = Campaign::new(config, seed);
+    let mut campaign = Campaign::new(config, seed).threads(threads);
     let summary = campaign.run(&mut sink).unwrap_or_else(|e| {
         eprintln!("campaign failed: {e}");
         exit(1);

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|small|paper] [--seed N] \
+//! repro [--scale smoke|small|paper] [--seed N] [--threads N] \
 //!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel] [--all]
 //! ```
 //!
@@ -10,7 +10,7 @@
 
 use pufassess::report::{self, Series};
 use pufassess::visualize;
-use pufbench::{run_assessment, Scale};
+use pufbench::{default_threads, run_assessment_with, Scale};
 use puftestbed::PowerWaveform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,6 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut seed = 2017;
+    let mut threads = default_threads();
     let mut artifacts: BTreeSet<&'static str> = BTreeSet::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -38,6 +39,16 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs an integer");
+            }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
             }
             "--fig3" => {
                 artifacts.insert("fig3");
@@ -89,8 +100,8 @@ fn main() {
         .iter()
         .any(|a| artifacts.contains(a))
     {
-        eprintln!("running campaign at {scale:?} scale (seed {seed})…");
-        let assessment = run_assessment(scale, seed);
+        eprintln!("running campaign at {scale:?} scale (seed {seed}, {threads} threads)…");
+        let assessment = run_assessment_with(scale, seed, threads);
         if artifacts.contains("fig5") {
             println!("\n=== Fig. 5: fractional HD / HW distributions at the start ===\n");
             println!("{}", report::fig5_text(assessment.initial_quality(), 48));

@@ -69,18 +69,46 @@ impl Scale {
     }
 }
 
-/// Runs the campaign at `scale` and returns its dataset.
-pub fn run_campaign(scale: Scale, seed: u64) -> Dataset {
-    Campaign::new(scale.campaign_config(), seed).run_in_memory()
+/// The default worker-thread count for campaign execution: the machine's
+/// available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
-/// Runs the campaign and the full assessment pipeline at `scale`.
+/// Runs the campaign at `scale` sequentially and returns its dataset.
+pub fn run_campaign(scale: Scale, seed: u64) -> Dataset {
+    run_campaign_with(scale, seed, 1)
+}
+
+/// Runs the campaign at `scale` sharded across `threads` workers. The
+/// dataset is identical for every thread count (see
+/// `puftestbed::board_stream_seed`); only wall-clock time changes.
+pub fn run_campaign_with(scale: Scale, seed: u64, threads: usize) -> Dataset {
+    Campaign::new(scale.campaign_config(), seed)
+        .threads(threads)
+        .run_in_memory()
+}
+
+/// Runs the campaign and the full assessment pipeline at `scale`
+/// sequentially.
 ///
 /// # Panics
 ///
 /// Panics if the assessment fails (cannot happen for the built-in scales).
 pub fn run_assessment(scale: Scale, seed: u64) -> Assessment {
-    let dataset = run_campaign(scale, seed);
+    run_assessment_with(scale, seed, 1)
+}
+
+/// Runs the campaign across `threads` workers, then the full assessment
+/// pipeline, at `scale`.
+///
+/// # Panics
+///
+/// Panics if the assessment fails (cannot happen for the built-in scales).
+pub fn run_assessment_with(scale: Scale, seed: u64, threads: usize) -> Assessment {
+    let dataset = run_campaign_with(scale, seed, threads);
     Assessment::from_dataset(&dataset, &scale.protocol())
         .expect("built-in scales produce assessable datasets")
 }

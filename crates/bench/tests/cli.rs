@@ -26,7 +26,11 @@ fn campaign_then_assess_round_trip() {
         ])
         .output()
         .expect("campaign runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("90 records"), "{stderr}");
 
@@ -34,7 +38,11 @@ fn campaign_then_assess_round_trip() {
         .args(["--in", records.to_str().unwrap(), "--reads", "15"])
         .output()
         .expect("assess runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Table I"), "{stdout}");
     assert!(stdout.contains("WCHD"));
@@ -88,12 +96,97 @@ fn repro_smoke_produces_all_artifacts() {
         .current_dir(std::env::temp_dir())
         .output()
         .expect("repro runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for artifact in ["Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Table I", "accelerated"] {
+    for artifact in [
+        "Fig. 3",
+        "Fig. 4",
+        "Fig. 5",
+        "Fig. 6",
+        "Table I",
+        "accelerated",
+    ] {
         assert!(stdout.contains(artifact), "missing {artifact}");
     }
     std::fs::remove_file(std::env::temp_dir().join("fig4_startup_pattern.pgm")).ok();
+}
+
+#[test]
+fn campaign_threads_flag_is_record_identical() {
+    let common = [
+        "--boards",
+        "5",
+        "--months",
+        "1",
+        "--reads",
+        "12",
+        "--read-bits",
+        "200",
+        "--seed",
+        "44",
+        "--nack-rate",
+        "0.05",
+    ];
+    let mut files = Vec::new();
+    for threads in ["1", "4"] {
+        let records = temp_path(&format!("threads{threads}.jsonl"));
+        let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+            .args(["--out", records.to_str().unwrap(), "--threads", threads])
+            .args(common)
+            .output()
+            .expect("campaign runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        files.push(std::fs::read(&records).expect("records written"));
+        std::fs::remove_file(&records).ok();
+    }
+    assert!(!files[0].is_empty());
+    assert_eq!(files[0], files[1], "thread count changed the record bytes");
+}
+
+#[test]
+fn assess_accepts_threads_flag() {
+    let records = temp_path("assess_threads.jsonl");
+    Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args([
+            "--out",
+            records.to_str().unwrap(),
+            "--boards",
+            "2",
+            "--months",
+            "1",
+            "--reads",
+            "10",
+            "--read-bits",
+            "128",
+        ])
+        .output()
+        .expect("campaign runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_assess"))
+        .args([
+            "--in",
+            records.to_str().unwrap(),
+            "--reads",
+            "10",
+            "--threads",
+            "3",
+        ])
+        .output()
+        .expect("assess runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Table I"));
+    std::fs::remove_file(&records).ok();
 }
 
 #[test]
@@ -111,5 +204,10 @@ fn binaries_reject_bad_arguments() {
         .args(["--scale", "galactic"])
         .output()
         .expect("repro runs");
+    assert!(!out.status.success());
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args(["--out", "/dev/null", "--threads", "0"])
+        .output()
+        .expect("campaign runs");
     assert!(!out.status.success());
 }

@@ -1,8 +1,6 @@
 //! Densely packed bit vector with Hamming-space kernels.
 
 use crate::MismatchedLengthError;
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor};
 
@@ -109,6 +107,32 @@ impl BitVec {
         bits.into_iter().collect()
     }
 
+    /// Creates a bit vector of `len` bits directly from packed little-endian
+    /// words (bit `i` is bit `i % 64` of `words[i / 64]`). This is the
+    /// zero-copy entry point for kernels that assemble read-outs a word at a
+    /// time; any set bits past `len` in the final word are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `len.div_ceil(64)` long.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = pufbits::BitVec::from_words(vec![0b101], 3);
+    /// assert_eq!(v, pufbits::BitVec::from_bits([true, false, true]));
+    /// ```
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "word count does not match bit length {len}"
+        );
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
@@ -173,7 +197,7 @@ impl BitVec {
     /// assert_eq!(v.len(), 2);
     /// ```
     pub fn push(&mut self, value: bool) {
-        if self.len % WORD_BITS == 0 {
+        if self.len.is_multiple_of(WORD_BITS) {
             self.words.push(0);
         }
         self.len += 1;
@@ -244,10 +268,7 @@ impl BitVec {
     ///
     /// Returns [`MismatchedLengthError`] if the operands have different
     /// lengths.
-    pub fn checked_hamming_distance(
-        &self,
-        other: &BitVec,
-    ) -> Result<usize, MismatchedLengthError> {
+    pub fn checked_hamming_distance(&self, other: &BitVec) -> Result<usize, MismatchedLengthError> {
         if self.len != other.len {
             return Err(MismatchedLengthError {
                 left: self.len,
@@ -384,7 +405,11 @@ impl BitVec {
     ///
     /// Panics if `len > self.len()`.
     pub fn prefix(&self, len: usize) -> BitVec {
-        assert!(len <= self.len, "prefix {len} longer than vector {}", self.len);
+        assert!(
+            len <= self.len,
+            "prefix {len} longer than vector {}",
+            self.len
+        );
         let mut out = BitVec {
             words: self.words[..len.div_ceil(WORD_BITS)].to_vec(),
             len,
@@ -530,36 +555,6 @@ impl fmt::Display for BitVec {
     }
 }
 
-#[derive(Serialize, Deserialize)]
-struct BitVecRepr {
-    len: usize,
-    bytes: Vec<u8>,
-}
-
-impl Serialize for BitVec {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        BitVecRepr {
-            len: self.len,
-            bytes: self.to_bytes(),
-        }
-        .serialize(serializer)
-    }
-}
-
-impl<'de> Deserialize<'de> for BitVec {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = BitVecRepr::deserialize(deserializer)?;
-        if repr.bytes.len() != repr.len.div_ceil(8) {
-            return Err(D::Error::custom("bit vector byte count does not match length"));
-        }
-        let mut v = BitVec::from_bytes(&repr.bytes);
-        v.len = repr.len;
-        v.words.truncate(repr.len.div_ceil(WORD_BITS));
-        v.mask_tail();
-        Ok(v)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,7 +635,10 @@ mod tests {
         assert!((a.fractional_hamming_distance(&b) - 0.5).abs() < 1e-12);
         assert!((b.fractional_hamming_weight() - 0.5).abs() < 1e-12);
         assert_eq!(BitVec::new().fractional_hamming_weight(), 0.0);
-        assert_eq!(BitVec::new().fractional_hamming_distance(&BitVec::new()), 0.0);
+        assert_eq!(
+            BitVec::new().fractional_hamming_distance(&BitVec::new()),
+            0.0
+        );
     }
 
     #[test]

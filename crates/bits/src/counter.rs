@@ -1,7 +1,6 @@
 //! Streaming per-bit one-count accumulation over repeated read-outs.
 
 use crate::{BitVec, MismatchedLengthError};
-use serde::{Deserialize, Serialize};
 
 /// Accumulates per-bit one-counts over a stream of equal-length read-outs.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((p[2] - 0.5).abs() < 1e-12);
 /// # Ok::<(), pufbits::MismatchedLengthError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OnesCounter {
     counts: Vec<u32>,
     observations: u32,
@@ -207,10 +206,7 @@ mod tests {
 
     #[test]
     fn stable_cells_are_all_zero_or_all_one() {
-        let c = counter_with(&[
-            &[true, false, true, false],
-            &[true, false, false, true],
-        ]);
+        let c = counter_with(&[&[true, false, true, false], &[true, false, false, true]]);
         assert_eq!(c.stable_cell_count(), 2);
         assert!((c.stable_cell_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(

@@ -1,7 +1,6 @@
 //! Rectangular stacks of equal-length read-outs.
 
 use crate::{BitVec, MismatchedLengthError, OnesCounter};
-use serde::{Deserialize, Serialize};
 
 /// A rectangular collection of equal-length [`BitVec`] rows.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.row(0).unwrap().hamming_distance(m.row(1).unwrap()), 4);
 /// # Ok::<(), pufbits::MismatchedLengthError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BitMatrix {
     width: usize,
     rows: Vec<BitVec>,

@@ -2,7 +2,6 @@
 
 use pufstats::normal::{phi, sample_standard};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One 6T SRAM cell, reduced to its static mismatch.
 ///
@@ -21,10 +20,9 @@ use serde::{Deserialize, Serialize};
 /// let balanced = Cell::new(0.0);
 /// assert!((balanced.one_probability(1.0) - 0.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Cell {
     mismatch: f64,
-    #[serde(default)]
     drift_bias: f64,
 }
 
@@ -75,7 +73,10 @@ impl Cell {
     /// Panics if the resulting mismatch is not finite.
     pub fn shift(&mut self, delta: f64) {
         let next = self.mismatch + delta;
-        assert!(next.is_finite(), "cell mismatch drifted to non-finite value");
+        assert!(
+            next.is_finite(),
+            "cell mismatch drifted to non-finite value"
+        );
         self.mismatch = next;
     }
 

@@ -1,7 +1,6 @@
 //! Operating environment and its effect on power-up noise.
 
 use crate::TechnologyProfile;
-use serde::{Deserialize, Serialize};
 
 /// Operating conditions of one power-up: temperature, supply voltage, and
 /// supply ramp time.
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// let hot = Environment { temp_c: 85.0, ..nominal };
 /// assert!(hot.noise_sigma(&profile) > 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Environment {
     /// Ambient temperature in degrees Celsius.
     pub temp_c: f64,

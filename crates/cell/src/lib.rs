@@ -40,6 +40,7 @@
 //! ```
 
 mod array;
+mod batch;
 pub mod calibrate;
 mod cell;
 mod env;
@@ -48,6 +49,7 @@ pub mod ramp;
 mod tech;
 
 pub use array::SramArray;
+pub use batch::PowerUpKernel;
 pub use cell::Cell;
 pub use env::Environment;
 pub use population::PopulationModel;

@@ -2,7 +2,6 @@
 
 use pufstats::normal::phi;
 use pufstats::solve::gaussian_expectation;
-use serde::{Deserialize, Serialize};
 
 /// Gaussian population of cell mismatches: `m ~ N(mu, sigma^2)` in
 /// noise-sigma units.
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((pop.expected_fhw() - 0.5).abs() < 1e-9);
 /// assert!((pop.expected_bchd() - 0.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PopulationModel {
     /// Mean mismatch (bias) in noise-sigma units.
     pub mu: f64,
@@ -170,7 +169,9 @@ mod tests {
         // Riemann sum over ±10 sigma.
         let (lo, hi, n) = (2.0 - 30.0, 2.0 + 30.0, 6000);
         let h = (hi - lo) / n as f64;
-        let total: f64 = (0..n).map(|i| pop.density(lo + (i as f64 + 0.5) * h) * h).sum();
+        let total: f64 = (0..n)
+            .map(|i| pop.density(lo + (i as f64 + 0.5) * h) * h)
+            .sum();
         assert!((total - 1.0).abs() < 1e-6);
     }
 }

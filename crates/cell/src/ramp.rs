@@ -11,7 +11,6 @@
 use crate::{Environment, SramArray};
 use pufbits::OnesCounter;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -60,7 +59,7 @@ impl Error for UnreachableTargetError {}
 /// assert!(adapted.ramp_us > hot.ramp_us);
 /// # Ok::<(), sramcell::ramp::UnreachableTargetError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RampAdapter {
     /// Maximum tolerated instability (mean fractional flip rate vs the
     /// majority pattern) after adaptation.
@@ -105,12 +104,7 @@ impl RampAdapter {
 
     /// Measured instability at one candidate environment: mean fraction of
     /// cells disagreeing with the window's majority pattern.
-    pub fn probe<R: Rng + ?Sized>(
-        &self,
-        sram: &SramArray,
-        env: &Environment,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn probe<R: Rng + ?Sized>(&self, sram: &SramArray, env: &Environment, rng: &mut R) -> f64 {
         let mut counter = OnesCounter::new(sram.len());
         let readouts: Vec<_> = (0..self.probe_reads)
             .map(|_| sram.power_up(env, rng))
@@ -202,10 +196,24 @@ mod tests {
         let (sram, nominal, mut rng) = fixture();
         let adapter = RampAdapter::new(0.012, 10.0, 500.0, 50);
         let cold = adapter
-            .adapt(&sram, Environment { temp_c: 0.0, ..nominal }, &mut rng)
+            .adapt(
+                &sram,
+                Environment {
+                    temp_c: 0.0,
+                    ..nominal
+                },
+                &mut rng,
+            )
             .unwrap();
         let hot = adapter
-            .adapt(&sram, Environment { temp_c: 95.0, ..nominal }, &mut rng)
+            .adapt(
+                &sram,
+                Environment {
+                    temp_c: 95.0,
+                    ..nominal
+                },
+                &mut rng,
+            )
             .unwrap();
         assert!(
             hot.ramp_us > cold.ramp_us,

@@ -1,7 +1,6 @@
 //! Technology profiles: electrical and variation parameters per silicon node.
 
 use crate::PopulationModel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Electrical, variation, and aging parameters of one SRAM technology.
@@ -20,7 +19,7 @@ use std::fmt;
 /// crate: threshold drift `ΔVth ∝ bti_prefactor · τ^bti_exponent` with
 /// Arrhenius activation `bti_activation_ev` and exponential voltage
 /// acceleration `bti_voltage_gamma` (per volt).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechnologyProfile {
     /// Human-readable name, e.g. `"atmega32u4"`.
     pub name: String,
@@ -151,7 +150,8 @@ impl TechnologyProfile {
         const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
         let t_nom = self.temp_c + 273.15;
         let t = temp_c + 273.15;
-        let arrhenius = (self.bti_activation_ev / BOLTZMANN_EV_PER_K * (1.0 / t_nom - 1.0 / t)).exp();
+        let arrhenius =
+            (self.bti_activation_ev / BOLTZMANN_EV_PER_K * (1.0 / t_nom - 1.0 / t)).exp();
         let voltage = (self.bti_voltage_gamma * (vdd_v - self.vdd_v)).exp();
         arrhenius * voltage
     }

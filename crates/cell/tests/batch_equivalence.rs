@@ -1,0 +1,68 @@
+//! Satellite: the batched kernel is statistically equivalent to the scalar
+//! model — empirical per-cell one-frequencies match
+//! `SramArray::one_probabilities` within the same bound the scalar
+//! `power_up_frequency_matches_probability` unit test uses (100 000 reads,
+//! |p̂ − p| < 0.01).
+
+use pufbits::OnesCounter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sramcell::{Environment, PowerUpKernel, SramArray, TechnologyProfile};
+
+#[test]
+fn batched_kernel_one_frequencies_match_one_probabilities() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let profile = TechnologyProfile::atmega32u4();
+    let cells = 96;
+    let sram = SramArray::generate(&profile, cells, &mut rng);
+    let env = Environment::nominal(&profile);
+
+    let reads = 100_000u32;
+    let mut kernel = PowerUpKernel::new();
+    let mut counter = OnesCounter::new(cells);
+    for _ in 0..reads {
+        counter
+            .add(&kernel.power_up(&sram, &env, &mut rng))
+            .unwrap();
+    }
+
+    let probabilities = sram.one_probabilities(&env);
+    for (i, &p) in probabilities.iter().enumerate() {
+        let p_hat = counter.count(i).unwrap() as f64 / f64::from(reads);
+        assert!((p_hat - p).abs() < 0.01, "cell {i}: p_hat={p_hat} vs p={p}");
+    }
+}
+
+#[test]
+fn batched_kernel_tracks_scalar_path_after_aging() {
+    // The threshold cache must follow mismatch changes: compare batched
+    // frequencies against the *aged* probabilities, not the fresh ones.
+    let mut rng = StdRng::seed_from_u64(21);
+    let profile = TechnologyProfile::atmega32u4();
+    let cells = 64;
+    let mut sram = SramArray::generate(&profile, cells, &mut rng);
+    let env = Environment::nominal(&profile);
+
+    let mut kernel = PowerUpKernel::new();
+    kernel.power_up(&sram, &env, &mut rng);
+
+    for cell in sram.cells_mut() {
+        cell.shift(-0.4 * cell.mismatch().signum());
+    }
+
+    let reads = 100_000u32;
+    let mut counter = OnesCounter::new(cells);
+    for _ in 0..reads {
+        counter
+            .add(&kernel.power_up(&sram, &env, &mut rng))
+            .unwrap();
+    }
+    let probabilities = sram.one_probabilities(&env);
+    for (i, &p) in probabilities.iter().enumerate() {
+        let p_hat = counter.count(i).unwrap() as f64 / f64::from(reads);
+        assert!(
+            (p_hat - p).abs() < 0.01,
+            "cell {i}: p_hat={p_hat} vs aged p={p}"
+        );
+    }
+}

@@ -8,7 +8,6 @@ use crate::table1::Table1;
 use pufbits::{BitMatrix, BitVec};
 use pufstats::Summary;
 use puftestbed::{BoardId, Dataset, Record};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -48,7 +47,7 @@ impl Error for AssessError {}
 
 /// One device's metrics for one month (a point on each per-device line of
 /// the paper's Fig. 6a–c).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceMonth {
     /// The device.
     pub device: BoardId,
@@ -69,7 +68,7 @@ pub struct DeviceMonth {
 
 /// Cross-device aggregates for one month (the paper's Fig. 6d and Table I
 /// columns).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonthlyAggregate {
     /// Zero-based month index.
     pub month_index: u32,
@@ -107,7 +106,10 @@ impl Assessment {
     ///
     /// Returns [`AssessError`] if the dataset is empty, has fewer than two
     /// devices, or a device lacks a month-zero reference window.
-    pub fn from_dataset(dataset: &Dataset, protocol: &EvaluationProtocol) -> Result<Self, AssessError> {
+    pub fn from_dataset(
+        dataset: &Dataset,
+        protocol: &EvaluationProtocol,
+    ) -> Result<Self, AssessError> {
         Self::from_records(dataset.records(), protocol)
     }
 
@@ -173,14 +175,13 @@ impl Assessment {
         // Cross-device aggregates per month.
         let mut aggregates = Vec::with_capacity(months.len());
         for &ym in &months {
-            let of_month: Vec<&DeviceMonth> =
-                device_months.iter().filter(|d| d.year_month == ym).collect();
+            let of_month: Vec<&DeviceMonth> = device_months
+                .iter()
+                .filter(|d| d.year_month == ym)
+                .collect();
             let month_windows: Vec<&MonthlyWindow> =
                 windows.iter().filter(|w| w.year_month == ym).collect();
-            let firsts: BitMatrix = month_windows
-                .iter()
-                .map(|w| w.first_read.clone())
-                .collect();
+            let firsts: BitMatrix = month_windows.iter().map(|w| w.first_read.clone()).collect();
             let bchd_samples = crate::metrics::between_class_hds(&firsts);
             aggregates.push(MonthlyAggregate {
                 month_index: month_index[&ym],
@@ -306,8 +307,16 @@ mod tests {
         let a = Assessment::from_dataset(&dataset, &protocol()).unwrap();
         let m0 = &a.aggregates()[0];
         // Paper start: ~2.5 % WCHD, 40–50 % BCHD, 60–70 % FHW.
-        assert!((0.01..=0.04).contains(&m0.wchd.mean), "wchd {}", m0.wchd.mean);
-        assert!((0.40..=0.52).contains(&m0.bchd.mean), "bchd {}", m0.bchd.mean);
+        assert!(
+            (0.01..=0.04).contains(&m0.wchd.mean),
+            "wchd {}",
+            m0.wchd.mean
+        );
+        assert!(
+            (0.40..=0.52).contains(&m0.bchd.mean),
+            "bchd {}",
+            m0.bchd.mean
+        );
         assert!((0.57..=0.68).contains(&m0.fhw.mean), "fhw {}", m0.fhw.mean);
         assert!(m0.puf_entropy > 0.4, "puf entropy {}", m0.puf_entropy);
     }

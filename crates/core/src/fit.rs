@@ -93,7 +93,11 @@ pub fn fit_from_probabilities(probabilities: &[f64]) -> Result<PopulationModel, 
     }
     let n = probabilities.len() as f64;
     let fhw = probabilities.iter().sum::<f64>() / n;
-    let wchd = probabilities.iter().map(|&p| 2.0 * p * (1.0 - p)).sum::<f64>() / n;
+    let wchd = probabilities
+        .iter()
+        .map(|&p| 2.0 * p * (1.0 - p))
+        .sum::<f64>()
+        / n;
     fit_from_statistics(fhw, wchd)
 }
 
@@ -115,8 +119,11 @@ pub fn fit_population(counter: &OnesCounter) -> Result<PopulationModel, FitError
     let probabilities = counter.one_probabilities();
     let n = probabilities.len() as f64;
     let fhw = probabilities.iter().sum::<f64>() / n;
-    let raw_wchd =
-        probabilities.iter().map(|&p| 2.0 * p * (1.0 - p)).sum::<f64>() / n;
+    let raw_wchd = probabilities
+        .iter()
+        .map(|&p| 2.0 * p * (1.0 - p))
+        .sum::<f64>()
+        / n;
     let correction = f64::from(reads) / f64::from(reads - 1);
     fit_from_statistics(fhw, raw_wchd * correction)
 }

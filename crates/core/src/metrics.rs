@@ -2,7 +2,6 @@
 
 use pufbits::{BitMatrix, BitVec};
 use pufstats::{Histogram, Summary};
-use serde::{Deserialize, Serialize};
 
 /// Average within-class fractional Hamming distance: every read-out of a
 /// device compared to that device's reference pattern.
@@ -71,7 +70,7 @@ pub fn fractional_hw(readouts: &BitMatrix) -> f64 {
 ///
 /// The paper plots all three as histograms over the unit interval
 /// ("Fractional hamming distance / hamming weight") with percentage counts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InitialQuality {
     /// Within-class FHD samples (every device, every window read-out).
     pub wchd: Histogram,

@@ -6,7 +6,6 @@
 
 use pufbits::{BitMatrix, BitVec, OnesCounter};
 use puftestbed::{BoardId, Record, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Parameters of the paper's evaluation protocol.
@@ -18,7 +17,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(p.reads_per_window, 1000);
 /// assert_eq!(p.eval_day, 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvaluationProtocol {
     /// Consecutive measurements per monthly window (paper: 1 000).
     pub reads_per_window: u32,
@@ -129,7 +128,11 @@ pub fn month_keys(windows: &[MonthlyWindow]) -> Vec<(i32, u8)> {
 
 /// Midnight opening the evaluation window of month `(year, month)`.
 pub fn window_open(protocol: &EvaluationProtocol, year: i32, month: u8) -> Timestamp {
-    Timestamp::from_date(puftestbed::CalendarDate::new(year, month, protocol.eval_day))
+    Timestamp::from_date(puftestbed::CalendarDate::new(
+        year,
+        month,
+        protocol.eval_day,
+    ))
 }
 
 #[cfg(test)]

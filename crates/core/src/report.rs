@@ -67,7 +67,8 @@ pub fn aggregate_series(assessment: &Assessment, series: Series) -> Vec<(u32, f6
 /// # }
 /// ```
 pub fn device_series_csv(assessment: &Assessment) -> String {
-    let mut out = String::from("device,month,year,calendar_month,wchd,fhw,noise_entropy,stable_ratio\n");
+    let mut out =
+        String::from("device,month,year,calendar_month,wchd,fhw,noise_entropy,stable_ratio\n");
     for d in assessment.device_months() {
         writeln!(
             out,

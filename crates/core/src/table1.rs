@@ -2,14 +2,13 @@
 //! test.
 
 use crate::assessment::Assessment;
-use serde::{Deserialize, Serialize};
 use sramaging::compound_monthly_rate;
 use std::fmt;
 
 /// Which extreme counts as the *worst case* for a metric, matching the
 /// paper's WC rows (largest WCHD, most biased HW, most stable cells, least
 /// noise entropy, least distinguishable BCHD).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorstDirection {
     /// The maximum across devices is the worst case.
     Max,
@@ -18,7 +17,7 @@ pub enum WorstDirection {
 }
 
 /// One metric's Table I row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricRow {
     /// Metric name as printed.
     pub name: String,
@@ -64,7 +63,7 @@ impl MetricRow {
 }
 
 /// The condensed two-year result, one row per metric (paper Table I).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
     /// Months between the start and end columns.
     pub months: u32,
@@ -270,7 +269,7 @@ mod tests {
             start_wc: 0.0272,
             end_avg: 0.0297,
             end_wc: 0.0325,
-            };
+        };
         assert!((row.relative_change() - 0.193).abs() < 0.002);
         assert!((row.monthly_change(24) - 0.0074).abs() < 2e-4);
         assert!((row.wc_relative_change() - 0.195).abs() < 0.002);
@@ -280,7 +279,14 @@ mod tests {
     #[test]
     fn render_includes_all_rows() {
         let rendered = assessment(2).table1().render();
-        for name in ["WCHD", "HW", "Stable", "Noise entropy", "BCHD", "PUF entropy"] {
+        for name in [
+            "WCHD",
+            "HW",
+            "Stable",
+            "Noise entropy",
+            "BCHD",
+            "PUF entropy",
+        ] {
             assert!(rendered.contains(name), "missing {name} in:\n{rendered}");
         }
         assert!(rendered.contains("AVG."));

@@ -28,7 +28,7 @@ pub fn ascii_raster(pattern: &BitVec, width: usize) -> String {
             out.push('\n');
         }
     }
-    if pattern.len() % width != 0 {
+    if !pattern.len().is_multiple_of(width) {
         out.push('\n');
     }
     out
@@ -96,7 +96,7 @@ pub fn diff_raster(a: &BitVec, b: &BitVec, width: usize) -> String {
             out.push('\n');
         }
     }
-    if diff.len() % width != 0 {
+    if !diff.len().is_multiple_of(width) {
         out.push('\n');
     }
     out

@@ -36,9 +36,8 @@ pub fn golay_block_failure(ber: f64, repetition: usize) -> f64 {
     let n = 23;
     let mut tail = 0.0;
     for k in 4..=n {
-        tail += binomial(n, k)
-            * group_error.powi(k as i32)
-            * (1.0 - group_error).powi((n - k) as i32);
+        tail +=
+            binomial(n, k) * group_error.powi(k as i32) * (1.0 - group_error).powi((n - k) as i32);
     }
     tail
 }
@@ -132,7 +131,7 @@ mod tests {
 
     #[test]
     fn analytic_failure_matches_monte_carlo_at_high_ber() {
-        use crate::ecc::{encode_blocks, decode_blocks, Concatenated, Golay, Repetition};
+        use crate::ecc::{decode_blocks, encode_blocks, Concatenated, Golay, Repetition};
         use pufbits::BitVec;
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};

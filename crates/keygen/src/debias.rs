@@ -11,10 +11,9 @@
 //! unbiased, and the mask itself reveals nothing about their values.
 
 use pufbits::BitVec;
-use serde::{Deserialize, Serialize};
 
 /// The enrollment-time output of pair-selection debiasing.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DebiasSelection {
     /// Mask over the original response: ones mark the *first bit* of every
     /// selected (differing) pair. Public helper data.

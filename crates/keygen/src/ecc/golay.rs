@@ -2,7 +2,6 @@
 
 use crate::ecc::{BlockCode, DecodeError};
 use pufbits::BitVec;
-use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
 
 /// Generator polynomial `g(x) = x^11 + x^10 + x^6 + x^5 + x^4 + x^2 + 1`,
@@ -36,7 +35,7 @@ const PARITY: usize = 11;
 /// assert_eq!(golay.decode(&word)?, msg);
 /// # Ok::<(), pufkeygen::ecc::DecodeError>(())
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Golay;
 
 impl Golay {
@@ -74,7 +73,10 @@ impl Golay {
                     }
                 }
             }
-            debug_assert!(table.iter().all(|&e| e != u32::MAX), "perfect code fills table");
+            debug_assert!(
+                table.iter().all(|&e| e != u32::MAX),
+                "perfect code fills table"
+            );
             table
         })
     }

@@ -16,7 +16,6 @@ pub use polar::{InvalidPolarParametersError, PolarCode};
 pub use repetition::{EvenRepetitionError, Repetition};
 
 use pufbits::BitVec;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -90,7 +89,7 @@ impl Error for DecodeError {}
 /// assert_eq!(code.decode(&word)?, message);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Concatenated {
     outer: Golay,
     inner: Repetition,
@@ -148,7 +147,10 @@ impl BlockCode for Concatenated {
         let mut outer_word = BitVec::new();
         for g in 0..self.outer.codeword_bits() {
             let group = BitVec::from_bits((0..r).map(|i| word.get(g * r + i).expect("in range")));
-            let decoded = self.inner.decode(&group).map_err(|_| DecodeError { block: g })?;
+            let decoded = self
+                .inner
+                .decode(&group)
+                .map_err(|_| DecodeError { block: g })?;
             outer_word.push(decoded.get(0).expect("one message bit"));
         }
         self.outer.decode(&outer_word)
@@ -167,8 +169,7 @@ pub fn encode_blocks<C: BlockCode>(code: &C, message: &BitVec) -> BitVec {
     let mut out = BitVec::new();
     let blocks = message.len().div_ceil(k);
     for b in 0..blocks {
-        let block =
-            BitVec::from_bits((0..k).map(|i| message.get(b * k + i).unwrap_or(false)));
+        let block = BitVec::from_bits((0..k).map(|i| message.get(b * k + i).unwrap_or(false)));
         out.extend(code.encode(&block).iter());
     }
     out
@@ -192,7 +193,7 @@ pub fn decode_blocks<C: BlockCode>(
 ) -> Result<BitVec, DecodeError> {
     let n = code.codeword_bits();
     assert!(
-        word.len() % n == 0,
+        word.len().is_multiple_of(n),
         "codeword length {} is not a multiple of block size {n}",
         word.len()
     );

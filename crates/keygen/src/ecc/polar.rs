@@ -16,7 +16,6 @@
 
 use crate::ecc::{BlockCode, DecodeError};
 use pufbits::BitVec;
-use serde::{Deserialize, Serialize};
 
 /// A polar code of length `n = 2^m` with `k` information bits, constructed
 /// for a binary symmetric channel with the given design crossover
@@ -38,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(code.decode(&word)?, msg);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolarCode {
     n: usize,
     k: usize,
@@ -197,12 +196,7 @@ impl BlockCode for PolarCode {
     }
 
     fn encode(&self, message: &BitVec) -> BitVec {
-        assert_eq!(
-            message.len(),
-            self.k,
-            "polar messages are {} bits",
-            self.k
-        );
+        assert_eq!(message.len(), self.k, "polar messages are {} bits", self.k);
         let mut u = vec![0u8; self.n];
         let mut next = 0;
         for (i, &is_frozen) in self.frozen.iter().enumerate() {
@@ -216,12 +210,7 @@ impl BlockCode for PolarCode {
     }
 
     fn decode(&self, word: &BitVec) -> Result<BitVec, DecodeError> {
-        assert_eq!(
-            word.len(),
-            self.n,
-            "polar codewords are {} bits",
-            self.n
-        );
+        assert_eq!(word.len(), self.n, "polar codewords are {} bits", self.n);
         let llr_mag = ((1.0 - self.design_p) / self.design_p).ln();
         let llr: Vec<f64> = word
             .iter()

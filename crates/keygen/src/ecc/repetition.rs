@@ -2,7 +2,6 @@
 
 use crate::ecc::{BlockCode, DecodeError};
 use pufbits::BitVec;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(word, BitVec::ones(5));
 /// # Ok::<(), pufkeygen::ecc::EvenRepetitionError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Repetition {
     n: usize,
 }
@@ -35,7 +34,11 @@ pub struct EvenRepetitionError {
 
 impl fmt::Display for EvenRepetitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "repetition length must be odd and positive, got {}", self.n)
+        write!(
+            f,
+            "repetition length must be odd and positive, got {}",
+            self.n
+        )
     }
 }
 
@@ -48,7 +51,7 @@ impl Repetition {
     ///
     /// Returns [`EvenRepetitionError`] if `n` is even or zero.
     pub fn new(n: usize) -> Result<Self, EvenRepetitionError> {
-        if n == 0 || n % 2 == 0 {
+        if n == 0 || n.is_multiple_of(2) {
             Err(EvenRepetitionError { n })
         } else {
             Ok(Self { n })
@@ -100,7 +103,7 @@ impl BlockCode for Repetition {
     fn encode(&self, message: &BitVec) -> BitVec {
         assert_eq!(message.len(), 1, "repetition encodes one bit at a time");
         let bit = message.get(0).expect("length checked");
-        BitVec::from_bits(std::iter::repeat(bit).take(self.n))
+        BitVec::from_bits(std::iter::repeat_n(bit, self.n))
     }
 
     fn decode(&self, word: &BitVec) -> Result<BitVec, DecodeError> {

@@ -34,7 +34,6 @@
 use crate::CodeSpec;
 use pufstats::normal::phi;
 use pufstats::solve::gaussian_expectation_with;
-use serde::{Deserialize, Serialize};
 use sramcell::PopulationModel;
 
 /// Average min-entropy per debiased bit against an adversary who knows the
@@ -85,7 +84,7 @@ pub fn modeled_device_bit_entropy(population: &PopulationModel) -> f64 {
 }
 
 /// The entropy budget of one enrollment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SecurityAnalysis {
     /// Debiased PUF bits consumed by the codeword.
     pub material_bits: usize,

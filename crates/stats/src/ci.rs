@@ -5,10 +5,9 @@
 //! prediction; Wilson intervals give the tolerance.
 
 use crate::normal::phi_inv;
-use serde::{Deserialize, Serialize};
 
 /// A two-sided confidence interval for a proportion.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Lower bound.
     pub lo: f64,
@@ -59,8 +58,16 @@ pub fn wilson(successes: u64, n: u64, confidence: f64) -> Interval {
     // The Wilson bounds are exactly 0/1 at the extremes; pin them so floating
     // point cannot exclude the boundary proportion.
     Interval {
-        lo: if successes == 0 { 0.0 } else { (center - half).max(0.0) },
-        hi: if successes == n { 1.0 } else { (center + half).min(1.0) },
+        lo: if successes == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        },
+        hi: if successes == n {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        },
     }
 }
 

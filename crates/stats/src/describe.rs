@@ -1,6 +1,5 @@
 //! Streaming descriptive statistics.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Streaming accumulator for descriptive statistics (Welford's algorithm).
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(s.n, 4);
 /// assert!((s.mean - 2.5).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Accumulator {
     n: u64,
     mean: f64,
@@ -131,7 +130,7 @@ impl FromIterator<f64> for Accumulator {
 /// assert_eq!(s.max, 1.0);
 /// assert!((s.std_dev - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub n: u64,

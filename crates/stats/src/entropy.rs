@@ -180,7 +180,10 @@ mod tests {
     fn mcv_estimate_penalizes_small_samples() {
         let small = mcv_estimate(50, 100);
         let large = mcv_estimate(50_000, 100_000);
-        assert!(small < large, "small-sample bound must be more conservative");
+        assert!(
+            small < large,
+            "small-sample bound must be more conservative"
+        );
         assert!(large <= 1.0);
     }
 

@@ -1,6 +1,5 @@
 //! Fixed-bin histograms with ASCII rendering.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fixed-bin histogram over a half-open range `[lo, hi)`.
@@ -23,7 +22,7 @@ use std::fmt;
 /// assert_eq!(h.total(), 4);
 /// assert!((h.percent(1) - 50.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -9,14 +9,13 @@
 
 use crate::special::{erfc, gamma_q};
 use pufbits::BitVec;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Significance level below which a test is declared failed (NIST default).
 pub const ALPHA: f64 = 0.01;
 
 /// Outcome of one statistical test.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestResult {
     /// Test name, e.g. `"frequency"`.
     pub name: String,
@@ -247,7 +246,10 @@ pub fn cumulative_sums(bits: &BitVec) -> Result<TestResult, InsufficientBitsErro
 ///
 /// Panics if `m` is 0 or larger than 16.
 pub fn serial(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsError> {
-    assert!(m >= 1 && m <= 16, "serial block length out of range: {m}");
+    assert!(
+        (1..=16).contains(&m),
+        "serial block length out of range: {m}"
+    );
     require(bits, 4 << m)?;
     let psi2 = |mm: usize| -> f64 {
         if mm == 0 {
@@ -266,13 +268,7 @@ pub fn serial(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsErr
             }
         }
         let nf = n as f64;
-        counts
-            .iter()
-            .map(|&c| (c as f64) * (c as f64))
-            .sum::<f64>()
-            * (1 << mm) as f64
-            / nf
-            - nf
+        counts.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>() * (1 << mm) as f64 / nf - nf
     };
     let del1 = psi2(m) - psi2(m - 1);
     let p = gamma_q(2f64.powi(m as i32 - 2), del1 / 2.0);
@@ -290,7 +286,7 @@ pub fn serial(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsErr
 ///
 /// Panics if `m` is 0 or larger than 14.
 pub fn approximate_entropy(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsError> {
-    assert!(m >= 1 && m <= 14, "apen block length out of range: {m}");
+    assert!((1..=14).contains(&m), "apen block length out of range: {m}");
     require(bits, 8 << m)?;
     let n = bits.len();
     let phi_m = |mm: usize| -> f64 {
@@ -538,14 +534,14 @@ pub fn linear_complexity(bits: &BitVec) -> Result<TestResult, InsufficientBitsEr
     const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
     let n_blocks = bits.len() / M;
     // mu = M/2 + (9 + (-1)^(M+1))/36 (the 2^-M correction vanishes here).
-    let mu = M as f64 / 2.0 + (9.0 + if M % 2 == 0 { -1.0 } else { 1.0 }) / 36.0;
+    let mu = M as f64 / 2.0 + (9.0 + if M.is_multiple_of(2) { -1.0 } else { 1.0 }) / 36.0;
     let mut counts = [0u64; 7];
     for blk in 0..n_blocks {
         let block: BitVec = (0..M)
             .map(|i| bits.get(blk * M + i) == Some(true))
             .collect();
         let l = linear_complexity_of(&block) as f64;
-        let sign = if M % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if M.is_multiple_of(2) { 1.0 } else { -1.0 };
         let t = sign * (l - mu) + 2.0 / 9.0;
         let class = if t <= -2.5 {
             0
@@ -748,15 +744,18 @@ mod tests {
                 let pat: String = doubled[i..i + m].iter().collect();
                 *counts.entry(pat).or_insert(0u64) += 1;
             }
-            counts.values().map(|&c| (c * c) as f64).sum::<f64>() * (1u64 << m) as f64
-                / n as f64
+            counts.values().map(|&c| (c * c) as f64).sum::<f64>() * (1u64 << m) as f64 / n as f64
                 - n as f64
         };
         let m = 3;
         let del1 = psi2(m) - psi2(m - 1);
         let want = crate::special::gamma_q(2f64.powi(m as i32 - 2), del1 / 2.0);
         let got = serial(&bits, m).unwrap();
-        assert!((got.p_value - want).abs() < 1e-10, "{} vs {want}", got.p_value);
+        assert!(
+            (got.p_value - want).abs() < 1e-10,
+            "{} vs {want}",
+            got.p_value
+        );
     }
 
     #[test]

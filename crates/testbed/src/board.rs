@@ -4,9 +4,8 @@
 use crate::i2c::{Address, I2cBus, TransferError};
 use pufbits::BitVec;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use sramaging::{AgingSimulator, StressConditions};
-use sramcell::{Environment, SramArray, TechnologyProfile};
+use sramcell::{Environment, PowerUpKernel, SramArray, TechnologyProfile};
 use std::fmt;
 
 /// Identifier of a board in the rig (the paper's S0–S7 on layer 0 and
@@ -18,9 +17,7 @@ use std::fmt;
 /// let id = puftestbed::BoardId(3);
 /// assert_eq!(id.to_string(), "S3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BoardId(pub u8);
 
 impl fmt::Display for BoardId {
@@ -49,7 +46,7 @@ impl fmt::Display for BoardId {
 /// assert_eq!(readout.len(), 1024);
 /// assert_eq!(board.cycles_completed(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlaveBoard {
     id: BoardId,
     sram: SramArray,
@@ -117,8 +114,7 @@ impl SlaveBoard {
     pub fn set_environment(&mut self, env: Environment) {
         self.env = env;
         let duty = self.aging.conditions().duty_on_fraction;
-        self.aging
-            .set_conditions(StressConditions::new(duty, env));
+        self.aging.set_conditions(StressConditions::new(duty, env));
     }
 
     /// Performs one power cycle: powers the SRAM and captures the power-up
@@ -126,6 +122,20 @@ impl SlaveBoard {
     pub fn power_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> BitVec {
         self.cycles_completed += 1;
         self.sram.power_up(&self.env, rng).prefix(self.read_bits)
+    }
+
+    /// Performs one power cycle through a batched [`PowerUpKernel`] — the
+    /// campaign engine's fast path. Samples noise only for the read window
+    /// instead of the whole array, and reuses the kernel's cached
+    /// thresholds across cycles (aging invalidates them via the array's
+    /// epoch). The kernel must be dedicated to this board.
+    pub fn power_cycle_with<R: Rng + ?Sized>(
+        &mut self,
+        kernel: &mut PowerUpKernel,
+        rng: &mut R,
+    ) -> BitVec {
+        self.cycles_completed += 1;
+        kernel.power_up_prefix(&self.sram, &self.env, self.read_bits, rng)
     }
 
     /// Ages the board by `wall_years` of rig operation (the stress schedule
@@ -154,7 +164,7 @@ impl SlaveBoard {
 /// assert_eq!(readouts[0].1.len(), 512);
 /// # Ok::<(), puftestbed::i2c::TransferError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MasterBoard {
     name: String,
     slaves: Vec<SlaveBoard>,

@@ -1,20 +1,33 @@
 //! The long-term campaign runner: months of power cycles, aging, and
-//! record collection.
+//! record collection, executed board-sharded and (optionally) in parallel.
+//!
+//! # Execution engine
+//!
+//! Every board owns an independent deterministic RNG stream whose seed is
+//! derived from the campaign seed and the [`BoardId`] alone
+//! ([`board_stream_seed`]). Manufacturing variation, power-up noise, and the
+//! board's I2C fault draws all come from that stream, so a board's entire
+//! measured trajectory is a pure function of `(config, campaign seed,
+//! board id)` — independent of how many worker threads execute the campaign
+//! and of what every other board does. Workers buffer records locally per
+//! evaluation window; the campaign merges the buffers deterministically by
+//! `(seq, board)` before they reach the [`RecordSink`], so sink output is
+//! byte-identical across thread counts.
 
-use crate::board::{BoardId, MasterBoard, SlaveBoard};
-use crate::i2c::I2cBus;
+use crate::board::{BoardId, SlaveBoard};
+use crate::i2c::{Address, I2cBus};
 use crate::schedule::READOUT_DELAY_S;
 use crate::store::{MemorySink, Record, RecordSink};
 use crate::time::{CalendarDate, Timestamp};
 use crate::waveform::PowerWaveform;
+use pufbits::BitVec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
-use sramcell::{Environment, TechnologyProfile};
+use sramcell::{Environment, PowerUpKernel, TechnologyProfile};
 use std::io;
 
 /// What the campaign records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MeasurementPlan {
     /// Record only the paper's evaluation windows — the first
     /// `reads_per_window` consecutive measurements after midnight on the
@@ -42,7 +55,7 @@ pub enum MeasurementPlan {
 /// assert_eq!(config.read_bits, 8 * 1024);
 /// assert_eq!(config.months, 24);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Number of slave boards (devices under test).
     pub boards: usize,
@@ -96,7 +109,7 @@ impl Default for CampaignConfig {
 }
 
 /// Outcome counters of a campaign run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CampaignSummary {
     /// Evaluation windows executed (months + 1 for windowed plans).
     pub windows: u32,
@@ -130,14 +143,102 @@ pub struct CampaignSummary {
 #[derive(Debug)]
 pub struct Campaign {
     config: CampaignConfig,
-    masters: [MasterBoard; 2],
+    shards: Vec<BoardShard>,
+    threads: usize,
+}
+
+/// Derives the seed of one board's RNG stream from the campaign seed.
+///
+/// A SplitMix64-style finalizer over the campaign seed and board id: streams
+/// of different boards (and of the same board under different campaign
+/// seeds) are decorrelated, and the mapping involves nothing but `(seed,
+/// id)` — the anchor of the engine's thread-count independence.
+pub fn board_stream_seed(campaign_seed: u64, board: BoardId) -> u64 {
+    let mut z = campaign_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(board.0) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One board's independent execution unit: the device, its layer position,
+/// its own bus endpoint, RNG stream, and batched power-up kernel.
+#[derive(Debug)]
+struct BoardShard {
+    board: SlaveBoard,
+    layer: usize,
+    address: Address,
+    bus: I2cBus,
     rng: StdRng,
+    kernel: PowerUpKernel,
+}
+
+/// What one shard contributes to one evaluation window.
+#[derive(Debug, Default)]
+struct ShardOutput {
+    records: Vec<Record>,
+    dropped: u64,
+    retries: u64,
+}
+
+impl BoardShard {
+    /// Ages the board by the wall time since the previous window, then
+    /// measures the window: `reads` power cycles shipped over the shard's
+    /// bus endpoint, with per-read retry/drop accounting.
+    fn run_window(
+        &mut self,
+        wall_years: f64,
+        substeps: u32,
+        epoch: Timestamp,
+        window_start: Timestamp,
+        reads: u32,
+        retry_budget: u32,
+    ) -> ShardOutput {
+        if wall_years > 0.0 {
+            self.board.age(wall_years, substeps);
+        }
+        let period = PowerWaveform::paper_layer(0).period_s();
+        let base_cycle = (window_start.seconds_since(epoch) as f64 / period) as u64;
+        let mut out = ShardOutput {
+            records: Vec::with_capacity(reads as usize),
+            ..ShardOutput::default()
+        };
+        for read in 0..reads {
+            let t_in_window = f64::from(read) * period + 2.7 * self.layer as f64 + READOUT_DELAY_S;
+            let timestamp = window_start.offset_by(t_in_window);
+            let seq = base_cycle + u64::from(read);
+            let readout = self.board.power_cycle_with(&mut self.kernel, &mut self.rng);
+            let bytes = readout.to_bytes();
+            let mut attempt = 0;
+            loop {
+                match self.bus.transfer(self.address, &bytes, &mut self.rng) {
+                    Ok(received) => {
+                        let bits = BitVec::from_bytes(&received).prefix(readout.len());
+                        out.records
+                            .push(Record::new(self.board.id(), seq, timestamp, bits));
+                        break;
+                    }
+                    Err(_) if attempt < retry_budget => {
+                        attempt += 1;
+                        out.retries += 1;
+                    }
+                    Err(_) => {
+                        out.dropped += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Campaign {
     /// Builds the rig: manufactures the devices and stacks them into two
     /// layers (even board indices on layer 0, odd on layer 1, mirroring the
-    /// paper's equal split).
+    /// paper's equal split). Each board is manufactured from — and keeps
+    /// drawing from — its own [`board_stream_seed`]-derived RNG stream.
+    ///
+    /// The campaign starts single-threaded; see [`threads`](Self::threads).
     ///
     /// # Panics
     ///
@@ -149,45 +250,51 @@ impl Campaign {
             config.read_bits > 0 && config.read_bits <= config.sram_bits,
             "invalid read window"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut layer0 = Vec::new();
-        let mut layer1 = Vec::new();
-        for i in 0..config.boards {
-            let mut board = SlaveBoard::new(
-                BoardId(u8::try_from(i).expect("board count fits u8")),
-                &config.profile,
-                config.sram_bits,
-                config.read_bits,
-                &mut rng,
-            );
-            if let Some(env) = config.environment {
-                board.set_environment(env);
-            }
-            if i % 2 == 0 {
-                layer0.push(board);
-            } else {
-                layer1.push(board);
-            }
-        }
-        let bus = || I2cBus::with_faults(config.i2c_nack_rate, config.i2c_corruption_rate);
+        let shards = (0..config.boards)
+            .map(|i| {
+                let id = BoardId(u8::try_from(i).expect("board count fits u8"));
+                let mut rng = StdRng::seed_from_u64(board_stream_seed(seed, id));
+                let mut board = SlaveBoard::new(
+                    id,
+                    &config.profile,
+                    config.sram_bits,
+                    config.read_bits,
+                    &mut rng,
+                );
+                if let Some(env) = config.environment {
+                    board.set_environment(env);
+                }
+                BoardShard {
+                    board,
+                    layer: i % 2,
+                    // Position on the layer master's bus segment, as the rig
+                    // wires it: 0x10 + index within the layer.
+                    address: Address::new(0x10 + u8::try_from(i / 2).expect("board count fits u8"))
+                        .expect("slave addresses stay in the valid range"),
+                    bus: I2cBus::with_faults(config.i2c_nack_rate, config.i2c_corruption_rate),
+                    rng,
+                    kernel: PowerUpKernel::new(),
+                }
+            })
+            .collect();
         Self {
-            masters: [
-                MasterBoard::with_bus("M0", layer0, bus()),
-                MasterBoard::with_bus("M1", layer1, bus()),
-            ],
             config,
-            rng,
+            shards,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of worker threads boards are sharded across (clamped
+    /// to the board count; 0 is treated as 1). Results are identical for
+    /// every value — parallelism only changes wall-clock time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &CampaignConfig {
         &self.config
-    }
-
-    /// The two layer masters (M0, M1).
-    pub fn masters(&self) -> &[MasterBoard; 2] {
-        &self.masters
     }
 
     /// Runs the campaign, streaming records into `sink`.
@@ -236,85 +343,96 @@ impl Campaign {
         for month in 0..=self.config.months {
             let window_date = self.window_date(month);
             let window_days = window_date.days_since_epoch() - self.config.start.days_since_epoch();
-            // Age by the wall time since the previous window.
+            // Age by the wall time since the previous window (inside the
+            // workers, so aging parallelizes with the same sharding).
             let wall_years = (window_days - previous_days) as f64 / 365.25;
-            if wall_years > 0.0 {
-                let substeps = self.config.aging_substeps_per_month.max(1);
-                for master in &mut self.masters {
-                    for board in master.slaves_mut() {
-                        board.age(wall_years, substeps);
-                    }
-                }
-            }
             previous_days = window_days;
             let window_start = Timestamp::from_date(window_date);
-            self.run_window(sink, epoch, window_start, &mut summary)?;
+            self.run_window(sink, epoch, window_start, wall_years, &mut summary)?;
             summary.windows += 1;
         }
         Ok(summary)
     }
 
     fn run_continuous<S: RecordSink>(&mut self, sink: &mut S) -> io::Result<CampaignSummary> {
-        // Continuous: one "window" spanning the whole campaign. Aging is
-        // applied up-front per month boundary would be overkill for the
-        // short spans this plan is meant for, so the span is aged in one
-        // sweep before measuring.
+        // Continuous: one "window" spanning the whole campaign, aged in one
+        // sweep before measuring (per-month boundaries would be overkill
+        // for the short spans this plan is meant for).
         let mut summary = CampaignSummary::default();
         let epoch = self.campaign_epoch();
         let months = self.config.months;
-        if months > 0 {
-            let wall_years = f64::from(months) / 12.0;
-            let substeps = (self.config.aging_substeps_per_month * months).max(1);
-            for master in &mut self.masters {
-                for board in master.slaves_mut() {
-                    board.age(wall_years, substeps);
-                }
-            }
-        }
-        self.run_window(sink, epoch, epoch, &mut summary)?;
+        let wall_years = f64::from(months) / 12.0;
+        self.run_window(sink, epoch, epoch, wall_years, &mut summary)?;
         summary.windows = 1;
         Ok(summary)
     }
 
+    /// Executes one evaluation window across all shards — in parallel when
+    /// [`threads`](Self::threads) allows — then merges the worker-local
+    /// buffers deterministically by `(seq, board)` into the sink.
     fn run_window<S: RecordSink>(
         &mut self,
         sink: &mut S,
         epoch: Timestamp,
         window_start: Timestamp,
+        wall_years: f64,
         summary: &mut CampaignSummary,
     ) -> io::Result<()> {
-        let period = PowerWaveform::paper_layer(0).period_s();
-        let base_cycle = window_start.seconds_since(epoch) as f64 / period;
-        for read in 0..self.config.reads_per_window {
-            for (layer, master) in self.masters.iter_mut().enumerate() {
-                if master.slaves().is_empty() {
-                    continue;
-                }
-                let t_in_window = f64::from(read) * period + 2.7 * layer as f64 + READOUT_DELAY_S;
-                let timestamp = window_start.offset_by(t_in_window);
-                let seq = (base_cycle as u64) + u64::from(read);
-                let mut attempt = 0;
-                loop {
-                    match master.collect_cycle(&mut self.rng) {
-                        Ok(readouts) => {
-                            for (id, bits) in readouts {
-                                sink.record(&Record::new(id, seq, timestamp, bits))?;
-                                summary.records += 1;
-                            }
-                            break;
-                        }
-                        Err(_) if attempt < self.config.i2c_retries => {
-                            attempt += 1;
-                            summary.retries += 1;
-                        }
-                        Err(_) => {
-                            summary.dropped += u64::try_from(master.slaves().len())
-                                .expect("board count fits u64");
-                            break;
-                        }
-                    }
-                }
+        let substeps = match self.config.plan {
+            MeasurementPlan::Windowed => self.config.aging_substeps_per_month.max(1),
+            MeasurementPlan::Continuous => {
+                (self.config.aging_substeps_per_month * self.config.months).max(1)
             }
+        };
+        let reads = self.config.reads_per_window;
+        let retry_budget = self.config.i2c_retries;
+        let worker = |shard: &mut BoardShard| {
+            shard.run_window(
+                wall_years,
+                substeps,
+                epoch,
+                window_start,
+                reads,
+                retry_budget,
+            )
+        };
+
+        let threads = self.threads.min(self.shards.len()).max(1);
+        let mut outputs: Vec<ShardOutput> = if threads == 1 {
+            self.shards.iter_mut().map(worker).collect()
+        } else {
+            // Shard boards across scoped workers in contiguous chunks; the
+            // per-board RNG streams make the outputs identical to the
+            // sequential path, so only wall-clock time depends on `threads`.
+            let chunk_len = self.shards.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .chunks_mut(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || chunk.iter_mut().map(worker).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut records: Vec<Record> =
+            Vec::with_capacity(outputs.iter().map(|o| o.records.len()).sum());
+        for output in &mut outputs {
+            summary.dropped += output.dropped;
+            summary.retries += output.retries;
+            records.append(&mut output.records);
+        }
+        // The deterministic merge order of the record stream: cycle first,
+        // board second (the physical arrival order of the rig's sink).
+        records.sort_unstable_by_key(|r| (r.seq, r.device.0));
+        for record in &records {
+            sink.record(record)?;
+            summary.records += 1;
         }
         Ok(())
     }

@@ -7,7 +7,6 @@
 //! so the campaign's robustness to transport errors can be tested.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -25,7 +24,7 @@ pub const CHUNK_BYTES: usize = 32;
 /// assert!(Address::new(0x80).is_err());
 /// # Ok::<(), puftestbed::i2c::InvalidAddressError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Address(u8);
 
 impl Address {
@@ -36,7 +35,7 @@ impl Address {
     /// Returns [`InvalidAddressError`] if `value` does not fit 7 bits or is
     /// one of the reserved addresses (0x00–0x07, 0x78–0x7F).
     pub fn new(value: u8) -> Result<Self, InvalidAddressError> {
-        if value > 0x77 || value < 0x08 {
+        if !(0x08..=0x77).contains(&value) {
             Err(InvalidAddressError { value })
         } else {
             Ok(Self(value))
@@ -91,7 +90,10 @@ impl fmt::Display for TransferError {
         match self {
             TransferError::Nack { address } => write!(f, "nack from 0x{address:02x}"),
             TransferError::CrcMismatch { expected, computed } => {
-                write!(f, "crc mismatch: trailer {expected:04x}, computed {computed:04x}")
+                write!(
+                    f,
+                    "crc mismatch: trailer {expected:04x}, computed {computed:04x}"
+                )
             }
             TransferError::Truncated { received } => {
                 write!(f, "message truncated after {received} bytes")
@@ -130,10 +132,7 @@ pub fn crc16(data: &[u8]) -> u16 {
 /// The wire format is: payload chunks of at most [`CHUNK_BYTES`] bytes,
 /// followed by a final 2-byte big-endian CRC over the whole payload.
 pub fn encode_message(payload: &[u8]) -> Vec<Vec<u8>> {
-    let mut frames: Vec<Vec<u8>> = payload
-        .chunks(CHUNK_BYTES)
-        .map(<[u8]>::to_vec)
-        .collect();
+    let mut frames: Vec<Vec<u8>> = payload.chunks(CHUNK_BYTES).map(<[u8]>::to_vec).collect();
     let crc = crc16(payload);
     frames.push(vec![(crc >> 8) as u8, (crc & 0xFF) as u8]);
     frames
@@ -180,7 +179,7 @@ pub fn decode_message(frames: &[Vec<u8>]) -> Result<Vec<u8>, TransferError> {
 /// assert_eq!(bus.transactions(), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct I2cBus {
     nack_rate: f64,
     corruption_rate: f64,

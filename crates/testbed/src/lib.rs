@@ -58,7 +58,7 @@ mod waveform;
 mod campaign;
 
 pub use board::{BoardId, MasterBoard, SlaveBoard};
-pub use campaign::{Campaign, CampaignConfig, Dataset, MeasurementPlan};
+pub use campaign::{board_stream_seed, Campaign, CampaignConfig, Dataset, MeasurementPlan};
 pub use power::PowerSwitch;
 pub use store::{Record, RecordSink};
 pub use time::{CalendarDate, DateTime, Timestamp};

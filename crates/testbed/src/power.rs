@@ -1,6 +1,5 @@
 //! The power-switch board: one supply channel per slave board.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -24,7 +23,7 @@ use std::fmt;
 /// assert_eq!(sw.cycles(2)?, 1);
 /// # Ok::<(), puftestbed::power::ChannelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PowerSwitch {
     on: Vec<bool>,
     cycles: Vec<u64>,
@@ -90,10 +89,10 @@ impl PowerSwitch {
     /// Returns [`ChannelError`] for out-of-range channels.
     pub fn set_channel(&mut self, channel: usize, state: bool) -> Result<(), ChannelError> {
         let channels = self.on.len();
-        let slot = self.on.get_mut(channel).ok_or(ChannelError {
-            channel,
-            channels,
-        })?;
+        let slot = self
+            .on
+            .get_mut(channel)
+            .ok_or(ChannelError { channel, channels })?;
         if *slot && !state {
             self.cycles[channel] += 1;
         }

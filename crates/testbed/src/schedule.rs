@@ -12,10 +12,9 @@
 //! campaign runner consumes.
 
 use crate::waveform::PowerWaveform;
-use serde::{Deserialize, Serialize};
 
 /// Protocol phases of one layer's master in Algorithm 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LayerPhase {
     /// Step 1: waiting for the peer layer's end signal.
     WaitingForPeerEnd,
@@ -30,7 +29,7 @@ pub enum LayerPhase {
 }
 
 /// Signals exchanged between the two layer masters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Signal {
     /// "I have started my read-out" (step 3 / step 7).
     Start,
@@ -59,7 +58,7 @@ pub enum Signal {
 /// assert!(hs.cycles(0) > 0);
 /// assert!(hs.cycles(0).abs_diff(hs.cycles(1)) <= 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HandshakeMachine {
     phase: [LayerPhase; 2],
     cycles: [u64; 2],
@@ -152,7 +151,7 @@ impl HandshakeMachine {
 }
 
 /// One scheduled read-out in the compiled timetable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduledReadout {
     /// Cycle index (per layer).
     pub cycle: u64,
@@ -231,13 +230,8 @@ mod tests {
         let mut hs = HandshakeMachine::new();
         for _ in 0..10_000 {
             hs.step();
-            let both_on = matches!(
-                hs.phase(0),
-                LayerPhase::PoweredOn | LayerPhase::ReadingOut
-            ) && matches!(
-                hs.phase(1),
-                LayerPhase::PoweredOn | LayerPhase::ReadingOut
-            );
+            let both_on = matches!(hs.phase(0), LayerPhase::PoweredOn | LayerPhase::ReadingOut)
+                && matches!(hs.phase(1), LayerPhase::PoweredOn | LayerPhase::ReadingOut);
             assert!(!both_on);
         }
     }

@@ -8,7 +8,6 @@
 
 use crate::{BoardId, Timestamp};
 use pufbits::BitVec;
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -32,7 +31,7 @@ use json::JsonValue;
 /// assert_eq!(back, r);
 /// # Ok::<(), puftestbed::store::ParseRecordError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
     /// The measured device.
     pub device: BoardId,
@@ -65,7 +64,10 @@ impl Record {
             .map(|b| format!("{b:02x}"))
             .collect();
         let obj = JsonValue::Object(vec![
-            ("device".to_string(), JsonValue::Number(f64::from(self.device.0))),
+            (
+                "device".to_string(),
+                JsonValue::Number(f64::from(self.device.0)),
+            ),
             ("seq".to_string(), JsonValue::Number(self.seq as f64)),
             (
                 "timestamp".to_string(),

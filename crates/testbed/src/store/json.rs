@@ -298,9 +298,8 @@ impl Parser<'_> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err(self.error("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.error("invalid \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.error("invalid \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.error("invalid \\u escape"))?;
                             // Surrogates are not paired here; record stores
@@ -406,7 +405,10 @@ mod tests {
         let v = JsonValue::Object(vec![
             ("n".into(), JsonValue::Number(3.25)),
             ("i".into(), JsonValue::Number(7.0)),
-            ("arr".into(), JsonValue::Array(vec![JsonValue::Bool(false), JsonValue::Null])),
+            (
+                "arr".into(),
+                JsonValue::Array(vec![JsonValue::Bool(false), JsonValue::Null]),
+            ),
         ]);
         let text = v.to_string();
         assert_eq!(parse(&text).unwrap(), v);

@@ -6,7 +6,6 @@
 //! days-from-civil algorithm (proleptic Gregorian, UTC, no leap seconds —
 //! adequate for month-boundary selection).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A civil calendar date (proleptic Gregorian).
@@ -20,7 +19,7 @@ use std::fmt;
 /// let end = CalendarDate::new(2019, 2, 8);
 /// assert_eq!(end.days_since_epoch() - start.days_since_epoch(), 730);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CalendarDate {
     /// Year (e.g. 2017).
     pub year: i32,
@@ -85,9 +84,7 @@ impl fmt::Display for CalendarDate {
 /// assert_eq!(t.date(), CalendarDate::new(2017, 2, 8));
 /// assert_eq!(t.datetime().hour, 0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp(pub i64);
 
 impl Timestamp {
@@ -131,7 +128,7 @@ impl fmt::Display for Timestamp {
 }
 
 /// A decomposed timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DateTime {
     /// Calendar date.
     pub date: CalendarDate,
@@ -195,11 +192,7 @@ fn civil_from_days(z: i64) -> (i32, u8, u8) {
     let mp = (5 * doy + 2) / 153;
     let d = doy - (153 * mp + 2) / 5 + 1;
     let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    (
-        (y + i64::from(m <= 2)) as i32,
-        m as u8,
-        d as u8,
-    )
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
 }
 
 #[cfg(test)]
@@ -209,7 +202,10 @@ mod tests {
     #[test]
     fn epoch_is_day_zero() {
         assert_eq!(CalendarDate::new(1970, 1, 1).days_since_epoch(), 0);
-        assert_eq!(CalendarDate::from_days_since_epoch(0), CalendarDate::new(1970, 1, 1));
+        assert_eq!(
+            CalendarDate::from_days_since_epoch(0),
+            CalendarDate::new(1970, 1, 1)
+        );
     }
 
     #[test]

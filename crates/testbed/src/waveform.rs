@@ -1,7 +1,5 @@
 //! The power-cycle waveform of the measurement rig (paper Fig. 3).
 
-use serde::{Deserialize, Serialize};
-
 /// A periodic power waveform: `period_s` seconds per cycle, the first
 /// `on_s` of which the supply is high, phase-shifted by `offset_s`.
 ///
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!w.is_on(4.0)); // 3.8 s on, then off
 /// assert!((w.duty() - 3.8 / 5.4).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerWaveform {
     period_s: f64,
     on_s: f64,

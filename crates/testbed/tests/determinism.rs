@@ -1,0 +1,86 @@
+//! Satellite: the sharded campaign engine is deterministic — same
+//! `CampaignConfig` + seed twice, and any thread count, produce
+//! byte-identical `Dataset` records.
+
+use puftestbed::store::Record;
+use puftestbed::{Campaign, CampaignConfig, MeasurementPlan};
+
+fn config_with_faults() -> CampaignConfig {
+    // Faults exercise the per-board I2C fault draws; retries exercise the
+    // retry/drop accounting under every thread topology.
+    CampaignConfig {
+        boards: 6,
+        sram_bits: 512,
+        read_bits: 300,
+        months: 2,
+        reads_per_window: 15,
+        i2c_nack_rate: 0.1,
+        i2c_corruption_rate: 0.05,
+        i2c_retries: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+fn run(config: CampaignConfig, seed: u64, threads: usize) -> (Vec<Record>, String) {
+    let dataset = Campaign::new(config, seed).threads(threads).run_in_memory();
+    let bytes: String = dataset
+        .records()
+        .iter()
+        .map(|r| r.to_json_line() + "\n")
+        .collect();
+    (dataset.records().to_vec(), bytes)
+}
+
+#[test]
+fn same_seed_twice_is_byte_identical() {
+    let (records_a, bytes_a) = run(config_with_faults(), 99, 1);
+    let (records_b, bytes_b) = run(config_with_faults(), 99, 1);
+    assert!(!records_a.is_empty());
+    assert_eq!(records_a, records_b);
+    assert_eq!(bytes_a, bytes_b);
+}
+
+#[test]
+fn thread_count_does_not_change_the_record_stream() {
+    let (records_1, bytes_1) = run(config_with_faults(), 7, 1);
+    for threads in [2, 3, 8] {
+        let (records_n, bytes_n) = run(config_with_faults(), 7, threads);
+        assert_eq!(records_1, records_n, "threads={threads}");
+        assert_eq!(bytes_1, bytes_n, "threads={threads}");
+    }
+}
+
+#[test]
+fn summaries_agree_across_thread_counts() {
+    let summary_1 = Campaign::new(config_with_faults(), 41)
+        .threads(1)
+        .run_in_memory()
+        .summary();
+    let summary_8 = Campaign::new(config_with_faults(), 41)
+        .threads(8)
+        .run_in_memory()
+        .summary();
+    assert_eq!(summary_1, summary_8);
+    assert!(summary_1.retries > 0, "faults must actually fire");
+}
+
+#[test]
+fn continuous_plan_is_thread_count_independent_too() {
+    let config = CampaignConfig {
+        plan: MeasurementPlan::Continuous,
+        months: 0,
+        i2c_nack_rate: 0.0,
+        i2c_corruption_rate: 0.0,
+        ..config_with_faults()
+    };
+    let (records_1, _) = run(config.clone(), 13, 1);
+    let (records_4, _) = run(config, 13, 4);
+    assert_eq!(records_1, records_4);
+}
+
+#[test]
+fn different_seeds_produce_different_data() {
+    let (records_a, _) = run(config_with_faults(), 1, 1);
+    let (records_b, _) = run(config_with_faults(), 2, 1);
+    assert_ne!(records_a, records_b);
+}

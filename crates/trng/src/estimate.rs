@@ -111,10 +111,7 @@ mod tests {
     #[test]
     fn markov_catches_dependence_that_mcv_misses() {
         let alternating: BitVec = (0..8192).map(|i| i % 2 == 0).collect();
-        let mcv = mcv_estimate(
-            alternating.count_ones() as u64,
-            alternating.len() as u64,
-        );
+        let mcv = mcv_estimate(alternating.count_ones() as u64, alternating.len() as u64);
         assert!(mcv > 0.9, "mcv is blind to alternation: {mcv}");
         assert!(markov_estimate(&alternating) < 0.02);
     }

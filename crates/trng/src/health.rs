@@ -5,7 +5,6 @@
 //! returning constant buffers, a transport short-circuit — with false-alarm
 //! probability around `2^-20` per window at the claimed entropy level.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -58,7 +57,7 @@ impl Error for HealthFailure {}
 ///     rct.feed(i % 2 == 0).unwrap();
 /// }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RepetitionCountTest {
     cutoff: u32,
     last: Option<bool>,
@@ -114,7 +113,7 @@ impl RepetitionCountTest {
 /// Adaptive-proportion test (SP 800-90B §4.4.2), binary variant: within
 /// each 1 024-bit window, alarm if the window's first bit recurs more than
 /// the cutoff computed for the claimed entropy at α = 2⁻²⁰.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdaptiveProportionTest {
     cutoff: u32,
     window: u32,
@@ -210,7 +209,7 @@ impl AdaptiveProportionTest {
 }
 
 /// Both continuous tests bundled, as a deployed source would run them.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HealthMonitor {
     rct: RepetitionCountTest,
     apt: AdaptiveProportionTest,
@@ -300,7 +299,11 @@ mod tests {
     fn apt_cutoff_is_sane() {
         // For a fair source the cutoff sits well above W/2 but below W.
         let apt = AdaptiveProportionTest::new(1.0);
-        assert!(apt.cutoff() > 512 && apt.cutoff() < 1024, "{}", apt.cutoff());
+        assert!(
+            apt.cutoff() > 512 && apt.cutoff() < 1024,
+            "{}",
+            apt.cutoff()
+        );
         // Lower claimed entropy tolerates more repetition.
         assert!(AdaptiveProportionTest::new(0.1).cutoff() > apt.cutoff());
     }
@@ -352,7 +355,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = HealthFailure::RepetitionCount { run: 30, cutoff: 21 };
+        let e = HealthFailure::RepetitionCount {
+            run: 30,
+            cutoff: 21,
+        };
         assert!(e.to_string().contains("30"));
     }
 }

@@ -4,13 +4,12 @@ use crate::conditioner::Conditioner;
 use crate::health::{HealthFailure, HealthMonitor};
 use pufbits::{BitVec, OnesCounter};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use sramcell::{Environment, SramArray};
 use std::error::Error;
 use std::fmt;
 
 /// Configuration of the TRNG stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrngConfig {
     /// Power-ups used to characterize which cells are unstable.
     pub characterization_reads: u32,
@@ -204,8 +203,7 @@ impl SramTrng {
     /// Power-ups needed per conditioned output byte at the current credit
     /// rate — the paper's §IV-D2 "throughput" in inverse form.
     pub fn readouts_per_byte(&self) -> f64 {
-        let credit_per_readout =
-            self.raw_bits_per_readout() as f64 * self.entropy_per_masked_bit;
+        let credit_per_readout = self.raw_bits_per_readout() as f64 * self.entropy_per_masked_bit;
         16.0 / credit_per_readout // 8 bits × derating 2 in the conditioner
     }
 }

@@ -13,7 +13,10 @@ fn main() {
     let months = 24;
     let (nominal, accelerated) = comparison(months);
 
-    println!("WCHD development, nominal vs accelerated ({} months)\n", months);
+    println!(
+        "WCHD development, nominal vs accelerated ({} months)\n",
+        months
+    );
     println!(
         "{:<7} {:>22} {:>24}",
         "month", nominal.label, accelerated.label

@@ -39,7 +39,11 @@ fn main() {
     for temp_c in [-40.0, 0.0, 25.0, 60.0, 85.0, 105.0] {
         let env = Environment { temp_c, ..nominal };
         let (wchd, stable) = measure(&sram, &env, &mut rng);
-        println!("{temp_c:>8}  {:>7.2}%  {:>11.1}%", wchd * 100.0, stable * 100.0);
+        println!(
+            "{temp_c:>8}  {:>7.2}%  {:>11.1}%",
+            wchd * 100.0,
+            stable * 100.0
+        );
     }
 
     println!("\nsupply ramp sweep (room temperature)\n");
@@ -47,7 +51,11 @@ fn main() {
     for ramp_us in [10.0, 50.0, 100.0, 200.0, 400.0] {
         let env = Environment { ramp_us, ..nominal };
         let (wchd, stable) = measure(&sram, &env, &mut rng);
-        println!("{ramp_us:>9}  {:>7.2}%  {:>11.1}%", wchd * 100.0, stable * 100.0);
+        println!(
+            "{ramp_us:>9}  {:>7.2}%  {:>11.1}%",
+            wchd * 100.0,
+            stable * 100.0
+        );
     }
 
     println!(

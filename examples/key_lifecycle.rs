@@ -26,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("key reconstruction success under nominal aging (per {attempts_per_step} attempts)");
     println!("device: 8 KiBit SRAM, paper duty cycle, room temperature\n");
     println!(
-        "{:<8} {:>10}  {}",
-        "months", "raw BER", "success by repetition factor (3 / 5 / 7)"
+        "{:<8} {:>10}  success by repetition factor (3 / 5 / 7)",
+        "months", "raw BER"
     );
 
     for repetition in [3usize, 5, 7] {

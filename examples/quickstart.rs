@@ -27,12 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|_| device_a.power_up(&env, &mut rng))
         .collect();
     let wchd = sram_puf_longterm::pufassess::metrics::within_class_hd(&window, &reference);
-    println!("within-class HD  (reliability): {:.2}%  (paper: ~2.5%)", wchd * 100.0);
+    println!(
+        "within-class HD  (reliability): {:.2}%  (paper: ~2.5%)",
+        wchd * 100.0
+    );
 
     // --- Uniqueness: between-class Hamming distance -----------------------
     let other = device_b.power_up(&env, &mut rng);
     let bchd = reference.fractional_hamming_distance(&other);
-    println!("between-class HD (uniqueness):  {:.2}%  (paper: 40-50%)", bchd * 100.0);
+    println!(
+        "between-class HD (uniqueness):  {:.2}%  (paper: 40-50%)",
+        bchd * 100.0
+    );
 
     // --- Bias: fractional Hamming weight ----------------------------------
     println!(
@@ -45,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let enrollment = generator.enroll(&reference, &mut rng)?;
     let key = generator.reconstruct(&device_a.power_up(&env, &mut rng), &enrollment.helper)?;
     assert_eq!(key, enrollment.key);
-    println!("\nenrolled and reconstructed a 256-bit key: {}", hex(&key[..8]));
+    println!(
+        "\nenrolled and reconstructed a 256-bit key: {}",
+        hex(&key[..8])
+    );
 
     // --- True random number generation (§II-A2) ---------------------------
     let mut trng = SramTrng::characterize(device_a, &TrngConfig::default(), &mut rng)?;

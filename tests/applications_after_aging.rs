@@ -79,7 +79,9 @@ fn key_material_requirements_scale_with_repetition() {
     // Repetition-3 fits in a 4 KiBit response; repetition-9 does not
     // (11 Golay blocks × 23 bits × 9 ≈ 2 277 debiased bits needed, but a
     // 4 096-bit biased response yields only ~950).
-    assert!(KeyGenerator::new(128, 3).enroll(&response, &mut rng).is_ok());
+    assert!(KeyGenerator::new(128, 3)
+        .enroll(&response, &mut rng)
+        .is_ok());
     let err = KeyGenerator::new(128, 9)
         .enroll(&response, &mut rng)
         .unwrap_err();

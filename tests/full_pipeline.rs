@@ -86,7 +86,10 @@ fn two_year_campaign_reproduces_table1_shape() {
     assert!(table.hw.is_negligible(), "HW change must be negligible");
     assert!(table.bchd.is_negligible(), "BCHD change must be negligible");
     let puf_rel = (table.puf_entropy_end / table.puf_entropy_start - 1.0).abs();
-    assert!(puf_rel < 0.01, "PUF entropy change {puf_rel:.4} not negligible");
+    assert!(
+        puf_rel < 0.01,
+        "PUF entropy change {puf_rel:.4} not negligible"
+    );
 }
 
 #[test]
