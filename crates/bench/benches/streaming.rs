@@ -1,0 +1,75 @@
+//! Streaming-pipeline throughput: JSON-line parsing (sequential vs the
+//! parallel reader) and the window accumulator's per-record fold — the
+//! records/sec that bound how fast a paper-scale file assesses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pufassess::streaming::WindowAccumulator;
+use pufbench::Scale;
+use puftestbed::store::{read_json_lines, ParallelRecordReader, Record, RecordSink};
+use puftestbed::Campaign;
+use std::hint::black_box;
+use std::io::Cursor;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let dataset = Campaign::new(scale.campaign_config(), 31).run_in_memory();
+    let records: Vec<Record> = dataset.records().to_vec();
+    let mut sink = puftestbed::store::JsonLinesSink::new(Vec::new());
+    for r in &records {
+        sink.record(r).unwrap();
+    }
+    let bytes = sink.into_inner().unwrap();
+    let n = records.len() as u64;
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("parse_sequential", |b| {
+        b.iter(|| {
+            let count = read_json_lines(Cursor::new(bytes.clone()))
+                .filter(|r| r.is_ok())
+                .count();
+            black_box(count)
+        });
+    });
+
+    for threads in [2, 4] {
+        group.bench_function(&format!("parse_parallel_{threads}t"), |b| {
+            b.iter(|| {
+                let reader = ParallelRecordReader::spawn(
+                    Cursor::new(bytes.clone()),
+                    threads,
+                    puftestbed::store::DEFAULT_BATCH_LINES,
+                );
+                black_box(reader.filter(|r| r.is_ok()).count())
+            });
+        });
+    }
+
+    group.bench_function("accumulator_fold", |b| {
+        b.iter(|| {
+            let mut accumulator = WindowAccumulator::new(scale.protocol());
+            for r in &records {
+                accumulator.push(r);
+            }
+            black_box(accumulator.finish().unwrap())
+        });
+    });
+
+    group.bench_function("parse_and_fold_4t", |b| {
+        b.iter(|| {
+            let reader = ParallelRecordReader::spawn(Cursor::new(bytes.clone()), 4, 1024);
+            let mut accumulator = WindowAccumulator::new(scale.protocol());
+            for item in reader {
+                accumulator.push(&item.unwrap());
+            }
+            black_box(accumulator.finish().unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

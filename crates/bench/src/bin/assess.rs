@@ -2,17 +2,22 @@
 //! prints Table I, the Fig. 6 development summaries, and the fitted
 //! hidden-variable model of each device.
 //!
+//! Records stream from disk through a parallel parser straight into the
+//! bounded-memory window accumulator, so arbitrarily large record files
+//! assess in memory proportional to `devices × months`, not file size.
+//!
 //! ```text
 //! assess --in records.jsonl [--reads 1000] [--eval-day 8] [--csv PREFIX]
-//!        [--threads N]
+//!        [--threads N] [--batch-lines N]
 //! ```
 
-use pufassess::monthly::{select_windows, EvaluationProtocol};
+use pufassess::fit;
+use pufassess::monthly::EvaluationProtocol;
 use pufassess::report::{self, Series};
-use pufassess::{fit, Assessment};
-use puftestbed::store::Record;
+use pufassess::streaming::WindowAccumulator;
+use puftestbed::store::{ParallelRecordReader, DEFAULT_BATCH_LINES};
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::BufReader;
 use std::process::exit;
 
 fn main() {
@@ -20,6 +25,7 @@ fn main() {
     let mut csv_prefix: Option<String> = None;
     let mut protocol = EvaluationProtocol::default();
     let mut threads = pufbench::default_threads();
+    let mut batch_lines = DEFAULT_BATCH_LINES;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -42,10 +48,17 @@ fn main() {
                     exit(2);
                 }
             }
+            "--batch-lines" => {
+                batch_lines = parse(value(), "--batch-lines");
+                if batch_lines == 0 {
+                    eprintln!("--batch-lines must be positive");
+                    exit(2);
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: assess --in FILE [--reads N] [--eval-day D] [--csv PREFIX] \
-                     [--threads N]"
+                     [--threads N] [--batch-lines N]"
                 );
                 return;
             }
@@ -64,17 +77,34 @@ fn main() {
         eprintln!("cannot open {input}: {e}");
         exit(1);
     });
-    let lines: Vec<String> = BufReader::new(file)
-        .lines()
-        .collect::<Result<_, _>>()
-        .unwrap_or_else(|e| {
-            eprintln!("cannot read {input}: {e}");
-            exit(1);
-        });
-    let (records, skipped) = parse_records(&lines, threads);
-    eprintln!("loaded {} records ({skipped} skipped)", records.len());
 
-    let assessment = Assessment::from_records(&records, &protocol).unwrap_or_else(|e| {
+    // Stream: reader thread → parser pool → accumulator. The file is never
+    // held in memory; only per-(device, month) window state is.
+    let reader = ParallelRecordReader::spawn(BufReader::new(file), threads, batch_lines);
+    let mut accumulator = WindowAccumulator::new(protocol);
+    let mut malformed = 0u64;
+    for item in reader {
+        match item {
+            Ok(record) => accumulator.push(&record),
+            Err(e) if e.is_io() => {
+                // A mid-file read failure is data loss, not a bad line:
+                // fail loudly instead of assessing a silent prefix.
+                eprintln!("reading {input} failed: {e}");
+                exit(1);
+            }
+            Err(e) => {
+                malformed += 1;
+                eprintln!("skipping malformed line: {e}");
+            }
+        }
+    }
+    eprintln!(
+        "loaded {} records ({malformed} malformed lines, {} width-mismatched records skipped)",
+        accumulator.records_seen(),
+        accumulator.skipped_width_mismatch()
+    );
+
+    let (assessment, windows) = accumulator.finish_with_windows().unwrap_or_else(|e| {
         eprintln!("assessment failed: {e}");
         exit(1);
     });
@@ -87,7 +117,6 @@ fn main() {
     }
 
     println!("=== fitted hidden-variable model per device (month 0) ===\n");
-    let windows = select_windows(&records, &protocol);
     let first_month = windows
         .iter()
         .map(|w| w.year_month)
@@ -123,52 +152,6 @@ fn main() {
         });
         eprintln!("wrote {devices} and {aggregates}");
     }
-}
-
-/// Parses JSON lines into records, sharding the lines across `threads`
-/// workers. Line order is preserved (chunks are concatenated in order), so
-/// the result is identical to a sequential parse; malformed and blank lines
-/// are counted and reported exactly as before.
-fn parse_records(lines: &[String], threads: usize) -> (Vec<Record>, u64) {
-    let chunk_len = lines.len().div_ceil(threads.max(1)).max(1);
-    let parse_chunk = |chunk: &[String]| {
-        let mut records = Vec::with_capacity(chunk.len());
-        let mut skipped = 0u64;
-        for line in chunk {
-            if line.trim().is_empty() {
-                continue;
-            }
-            match Record::parse_json_line(line) {
-                Ok(record) => records.push(record),
-                Err(e) => {
-                    skipped += 1;
-                    eprintln!("skipping malformed line: {e}");
-                }
-            }
-        }
-        (records, skipped)
-    };
-    let outputs: Vec<(Vec<Record>, u64)> = if threads <= 1 || lines.len() <= chunk_len {
-        lines.chunks(chunk_len.max(1)).map(parse_chunk).collect()
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = lines
-                .chunks(chunk_len)
-                .map(|chunk| scope.spawn(move || parse_chunk(chunk)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parser worker panicked"))
-                .collect()
-        })
-    };
-    let mut records = Vec::with_capacity(lines.len());
-    let mut skipped = 0u64;
-    for (mut chunk_records, chunk_skipped) in outputs {
-        records.append(&mut chunk_records);
-        skipped += chunk_skipped;
-    }
-    (records, skipped)
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {

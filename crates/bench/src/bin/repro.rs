@@ -10,7 +10,7 @@
 
 use pufassess::report::{self, Series};
 use pufassess::visualize;
-use pufbench::{default_threads, run_assessment_with, Scale};
+use pufbench::{default_threads, run_assessment_streaming, Scale};
 use puftestbed::PowerWaveform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -101,7 +101,9 @@ fn main() {
         .any(|a| artifacts.contains(a))
     {
         eprintln!("running campaign at {scale:?} scale (seed {seed}, {threads} threads)…");
-        let assessment = run_assessment_with(scale, seed, threads);
+        // Streamed: records fold into the assessment as the campaign emits
+        // them, so even paper scale never holds the dataset in memory.
+        let assessment = run_assessment_streaming(scale, seed, threads);
         if artifacts.contains("fig5") {
             println!("\n=== Fig. 5: fractional HD / HW distributions at the start ===\n");
             println!("{}", report::fig5_text(assessment.initial_quality(), 48));

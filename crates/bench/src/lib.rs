@@ -9,6 +9,7 @@
 //!   (minutes in release mode; the read-out count per window is the paper's).
 
 use pufassess::monthly::EvaluationProtocol;
+use pufassess::streaming::WindowAccumulator;
 use pufassess::Assessment;
 use puftestbed::{Campaign, CampaignConfig, Dataset};
 
@@ -113,6 +114,26 @@ pub fn run_assessment_with(scale: Scale, seed: u64, threads: usize) -> Assessmen
         .expect("built-in scales produce assessable datasets")
 }
 
+/// Runs the campaign across `threads` workers, piping records straight into
+/// the streaming [`WindowAccumulator`] — no dataset is materialised, so
+/// peak memory is bounded by the per-window state regardless of how many
+/// records the campaign emits. The result is identical to
+/// [`run_assessment_with`] at the same scale and seed.
+///
+/// # Panics
+///
+/// Panics if the assessment fails (cannot happen for the built-in scales).
+pub fn run_assessment_streaming(scale: Scale, seed: u64, threads: usize) -> Assessment {
+    let mut accumulator = WindowAccumulator::new(scale.protocol());
+    Campaign::new(scale.campaign_config(), seed)
+        .threads(threads)
+        .run(&mut accumulator)
+        .expect("accumulator sink cannot fail");
+    accumulator
+        .finish()
+        .expect("built-in scales produce assessable datasets")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +150,13 @@ mod tests {
         let a = run_assessment(Scale::Smoke, 1);
         assert_eq!(a.months(), 7);
         assert_eq!(a.devices().len(), 4);
+    }
+
+    #[test]
+    fn streaming_assessment_matches_in_memory() {
+        let streamed = run_assessment_streaming(Scale::Smoke, 1, 2);
+        let in_memory = run_assessment(Scale::Smoke, 1);
+        assert_eq!(streamed, in_memory);
     }
 
     #[test]

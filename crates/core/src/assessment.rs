@@ -17,6 +17,8 @@ use std::fmt;
 pub enum AssessError {
     /// The dataset holds no records.
     Empty,
+    /// Records exist but none fall inside an evaluation window.
+    NoWindows,
     /// A device has no window in the first month (no reference available).
     MissingReference {
         /// The device without a month-zero window.
@@ -27,17 +29,33 @@ pub enum AssessError {
         /// Devices present.
         devices: usize,
     },
+    /// A streaming assessment saw a device's records out of chronological
+    /// order (a month opened after a later month had already been
+    /// accumulated), so its running reference was wrong.
+    OutOfOrder {
+        /// The device whose stream was out of order.
+        device: BoardId,
+    },
 }
 
 impl fmt::Display for AssessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AssessError::Empty => write!(f, "dataset holds no records"),
+            AssessError::NoWindows => {
+                write!(f, "no records fall inside an evaluation window")
+            }
             AssessError::MissingReference { device } => {
                 write!(f, "device {device} has no month-zero window")
             }
             AssessError::TooFewDevices { devices } => {
                 write!(f, "uniqueness metrics need ≥2 devices, got {devices}")
+            }
+            AssessError::OutOfOrder { device } => {
+                write!(
+                    f,
+                    "records of device {device} arrived out of chronological order"
+                )
             }
         }
     }
@@ -127,6 +145,9 @@ impl Assessment {
             return Err(AssessError::Empty);
         }
         let windows = select_windows(records, protocol);
+        if windows.is_empty() {
+            return Err(AssessError::NoWindows);
+        }
         let months = month_keys(&windows);
         let month_index: BTreeMap<(i32, u8), u32> = months
             .iter()
@@ -209,6 +230,47 @@ impl Assessment {
             aggregates,
             initial_quality,
         })
+    }
+
+    /// Runs the evaluation protocol over a record *stream* in bounded
+    /// memory: records are folded one at a time into per-(device, month)
+    /// accumulators, so peak memory scales with `devices × months`, not
+    /// with the record count. Produces results identical to
+    /// [`from_records`](Self::from_records) on the same sequence.
+    ///
+    /// Records must arrive in per-device chronological order (campaign
+    /// order), as for [`select_windows`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`from_records`](Self::from_records), plus
+    /// [`AssessError::OutOfOrder`] if a device's stream violates
+    /// chronological order across months.
+    pub fn from_record_stream<'a, I: IntoIterator<Item = &'a Record>>(
+        records: I,
+        protocol: &EvaluationProtocol,
+    ) -> Result<Self, AssessError> {
+        let mut accumulator = crate::streaming::WindowAccumulator::new(*protocol);
+        for record in records {
+            accumulator.push(record);
+        }
+        accumulator.finish()
+    }
+
+    /// Assembles an assessment from already-computed parts (the streaming
+    /// accumulator's finalizer).
+    pub(crate) fn from_parts(
+        protocol: EvaluationProtocol,
+        device_months: Vec<DeviceMonth>,
+        aggregates: Vec<MonthlyAggregate>,
+        initial_quality: InitialQuality,
+    ) -> Self {
+        Self {
+            protocol,
+            device_months,
+            aggregates,
+            initial_quality,
+        }
     }
 
     /// The protocol used.

@@ -14,6 +14,9 @@
 //!   measurements after midnight on the 8th of each month".
 //! * [`assessment`] — the full pipeline from a campaign dataset to
 //!   per-device monthly metrics and cross-device aggregates (Fig. 6).
+//! * [`streaming`] — the same pipeline in bounded memory: records fold one
+//!   at a time into per-(device, month) accumulators, so paper-scale
+//!   campaigns assess without retaining read-outs.
 //! * [`table1`] — the paper's Table I: start/end values, relative change,
 //!   and compound monthly change, average and worst-case over devices.
 //! * [`visualize`] — the start-up pattern raster of Fig. 4.
@@ -49,9 +52,11 @@ pub mod fit;
 pub mod metrics;
 pub mod monthly;
 pub mod report;
+pub mod streaming;
 pub mod table1;
 pub mod visualize;
 
 pub use assessment::Assessment;
 pub use monthly::EvaluationProtocol;
+pub use streaming::WindowAccumulator;
 pub use table1::Table1;

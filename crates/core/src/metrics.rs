@@ -112,6 +112,18 @@ impl InitialQuality {
         }
         let references = BitMatrix::from_rows(references).expect("equal read widths");
         let bchd_samples = between_class_hds(&references);
+        Self::from_samples(wchd_samples, bchd_samples, fhw_samples)
+    }
+
+    /// Builds the bundle from already-collected sample sets (the streaming
+    /// pipeline accumulates these per window without retaining read-outs).
+    /// Sample order matters only for bit-exact reproducibility of the
+    /// summaries; [`evaluate`](Self::evaluate) orders device-by-device.
+    pub fn from_samples(
+        wchd_samples: Vec<f64>,
+        bchd_samples: Vec<f64>,
+        fhw_samples: Vec<f64>,
+    ) -> Self {
         Self {
             wchd: Histogram::of(0.0, 1.0, Self::BINS, wchd_samples.iter().copied()),
             bchd: Histogram::of(0.0, 1.0, Self::BINS, bchd_samples.iter().copied()),

@@ -88,7 +88,29 @@ impl MonthlyWindow {
 /// assert!(windows.iter().all(|w| w.reads() == 8));
 /// ```
 pub fn select_windows(records: &[Record], protocol: &EvaluationProtocol) -> Vec<MonthlyWindow> {
+    select_windows_counted(records, protocol).windows
+}
+
+/// Result of [`select_windows_counted`]: the windows plus skip accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSelection {
+    /// Windows sorted by `(device, year, month)`.
+    pub windows: Vec<MonthlyWindow>,
+    /// Eligible records dropped because their width differed from their
+    /// window's first read-out (a parseable-but-truncated record must not
+    /// abort the whole assessment).
+    pub skipped_width_mismatch: u64,
+}
+
+/// [`select_windows`] with skip accounting: a record whose width disagrees
+/// with its window's established width is counted and dropped instead of
+/// aborting the assessment.
+pub fn select_windows_counted(
+    records: &[Record],
+    protocol: &EvaluationProtocol,
+) -> WindowSelection {
     let mut windows: BTreeMap<(u8, i32, u8), MonthlyWindow> = BTreeMap::new();
+    let mut skipped_width_mismatch = 0u64;
     for record in records {
         let dt = record.timestamp.datetime();
         // Eligibility: at or after midnight of the evaluation day.
@@ -106,16 +128,23 @@ pub fn select_windows(records: &[Record], protocol: &EvaluationProtocol) -> Vec<
         if window.reads() >= protocol.reads_per_window {
             continue;
         }
+        if record.data.len() != window.counter.width() {
+            skipped_width_mismatch += 1;
+            continue;
+        }
         window
             .counter
             .add(&record.data)
-            .expect("records of one device share a width");
+            .expect("width checked above");
         window
             .readouts
             .push_row(record.data.clone())
-            .expect("records of one device share a width");
+            .expect("width checked above");
     }
-    windows.into_values().collect()
+    WindowSelection {
+        windows: windows.into_values().collect(),
+        skipped_width_mismatch,
+    }
 }
 
 /// Convenience: the month keys present in a set of windows, in order.
@@ -207,5 +236,27 @@ mod tests {
     #[test]
     fn empty_stream_yields_no_windows() {
         assert!(select_windows(&[], &EvaluationProtocol::default()).is_empty());
+    }
+
+    #[test]
+    fn truncated_records_are_skipped_and_counted_not_fatal() {
+        let protocol = EvaluationProtocol::default();
+        let date = CalendarDate::new(2017, 2, 8);
+        let records = vec![
+            record_at(0, 0, date, 0.0, 0x01),
+            // A truncated read-out: 4 bits instead of 8. Must not panic.
+            Record::new(
+                BoardId(0),
+                1,
+                Timestamp::from_date(date).offset_by(5.4),
+                BitVec::zeros(4),
+            ),
+            record_at(0, 2, date, 10.8, 0x03),
+        ];
+        let selection = select_windows_counted(&records, &protocol);
+        assert_eq!(selection.skipped_width_mismatch, 1);
+        assert_eq!(selection.windows.len(), 1);
+        assert_eq!(selection.windows[0].reads(), 2);
+        assert_eq!(selection.windows[0].readouts.rows(), 2);
     }
 }

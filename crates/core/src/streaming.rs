@@ -1,0 +1,511 @@
+//! Bounded-memory streaming assessment.
+//!
+//! [`Assessment::from_records`](crate::Assessment::from_records) retains
+//! every window read-out in a [`pufbits::BitMatrix`]; at the paper's scale
+//! (~11 M read-outs per device × 16 devices) that is hundreds of gigabytes.
+//! [`WindowAccumulator`] folds the record stream one read-out at a time into
+//! per-(device, month) running state — a [`OnesCounter`], the window's first
+//! read-out, and incremental WCHD/FHW sums — so peak memory is bounded by
+//! `devices × months × window state` and is **independent of the record
+//! count**. The produced [`Assessment`] is identical (bit-for-bit, including
+//! every floating-point sum, because additions happen in the same order) to
+//! the in-memory path on the same record sequence.
+//!
+//! The accumulator implements [`RecordSink`], so a campaign can pipe
+//! directly into the assessment without touching disk or materialising a
+//! dataset:
+//!
+//! ```
+//! use pufassess::monthly::EvaluationProtocol;
+//! use pufassess::streaming::WindowAccumulator;
+//! use puftestbed::{Campaign, CampaignConfig};
+//!
+//! let config = CampaignConfig {
+//!     boards: 3, sram_bits: 512, read_bits: 512, months: 2, reads_per_window: 10,
+//!     ..CampaignConfig::default()
+//! };
+//! let protocol = EvaluationProtocol { reads_per_window: 10, ..EvaluationProtocol::default() };
+//! let mut accumulator = WindowAccumulator::new(protocol);
+//! Campaign::new(config, 5).run(&mut accumulator)?;
+//! let assessment = accumulator.finish().unwrap();
+//! assert_eq!(assessment.months(), 3);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use crate::assessment::{AssessError, Assessment, DeviceMonth, MonthlyAggregate};
+use crate::entropy::{noise_entropy, puf_entropy, stable_cell_ratio};
+use crate::metrics::InitialQuality;
+use crate::monthly::EvaluationProtocol;
+use pufbits::{BitMatrix, BitVec, OnesCounter};
+use pufstats::Summary;
+use puftestbed::store::RecordSink;
+use puftestbed::{BoardId, Record};
+use std::collections::BTreeMap;
+use std::io;
+
+/// One window's running state: everything the metrics need, nothing the
+/// record count scales.
+#[derive(Debug, Clone)]
+struct WindowState {
+    device: BoardId,
+    year_month: (i32, u8),
+    counter: OnesCounter,
+    first_read: BitVec,
+    /// Running sum of per-read FHD against the device reference, in arrival
+    /// order (bit-identical to summing the retained rows).
+    wchd_sum: f64,
+    /// Running sum of per-read fractional Hamming weight.
+    fhw_sum: f64,
+    /// Per-read samples, retained only while this window's month is the
+    /// earliest seen (the Fig. 5 initial-quality bundle needs the full
+    /// distributions of month zero; later months only need the sums).
+    samples: Option<WindowSamples>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct WindowSamples {
+    wchd: Vec<f64>,
+    fhw: Vec<f64>,
+}
+
+/// Per-device reference tracking: the first read-out of the device's
+/// earliest window anchors every WCHD comparison.
+#[derive(Debug, Clone)]
+struct DeviceState {
+    reference_month: (i32, u8),
+    reference: BitVec,
+}
+
+/// A finished window's retained state, for consumers that need more than
+/// the [`Assessment`] (e.g. fitting the hidden-variable model from the
+/// per-cell one-counts).
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// The measured device.
+    pub device: BoardId,
+    /// Month key `(year, month)` of the window.
+    pub year_month: (i32, u8),
+    /// Per-cell one-counts over the window.
+    pub counter: OnesCounter,
+    /// The first read-out of the window.
+    pub first_read: BitVec,
+}
+
+/// Streaming, bounded-memory implementation of the paper's evaluation
+/// protocol. See the [module docs](self) for the memory argument and an
+/// example; see [`Assessment::from_record_stream`] for a one-call wrapper.
+///
+/// Records must arrive in per-device chronological order (campaign order),
+/// the same precondition as [`select_windows`](crate::monthly::select_windows);
+/// cross-month violations are detected and reported by
+/// [`finish`](Self::finish) as [`AssessError::OutOfOrder`].
+#[derive(Debug, Clone)]
+pub struct WindowAccumulator {
+    protocol: EvaluationProtocol,
+    windows: BTreeMap<(u8, i32, u8), WindowState>,
+    devices: BTreeMap<u8, DeviceState>,
+    /// Earliest window month seen so far — the candidate "month zero".
+    min_month: Option<(i32, u8)>,
+    records_seen: u64,
+    skipped_width_mismatch: u64,
+    out_of_order: Option<BoardId>,
+}
+
+impl WindowAccumulator {
+    /// Creates an empty accumulator for `protocol`.
+    pub fn new(protocol: EvaluationProtocol) -> Self {
+        Self {
+            protocol,
+            windows: BTreeMap::new(),
+            devices: BTreeMap::new(),
+            min_month: None,
+            records_seen: 0,
+            skipped_width_mismatch: 0,
+            out_of_order: None,
+        }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> EvaluationProtocol {
+        self.protocol
+    }
+
+    /// Records pushed so far (eligible or not).
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Eligible records dropped because their width differed from their
+    /// window's established width.
+    pub fn skipped_width_mismatch(&self) -> u64 {
+        self.skipped_width_mismatch
+    }
+
+    /// Number of (device, month) windows opened so far.
+    pub fn windows_open(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Folds one record into the accumulation.
+    ///
+    /// Ineligible records (before the evaluation day or past the window
+    /// cap) are ignored; width mismatches are counted and skipped, exactly
+    /// like [`select_windows_counted`](crate::monthly::select_windows_counted).
+    pub fn push(&mut self, record: &Record) {
+        self.records_seen += 1;
+        let dt = record.timestamp.datetime();
+        if dt.date.day < self.protocol.eval_day {
+            return;
+        }
+        let ym = (dt.date.year, dt.date.month);
+        let key = (record.device.0, ym.0, ym.1);
+
+        if !self.windows.contains_key(&key) {
+            self.open_window(record, ym, key);
+        }
+        let device_reference = &self.devices[&record.device.0].reference;
+        let window = self.windows.get_mut(&key).expect("window opened above");
+        if window.counter.observations() >= self.protocol.reads_per_window {
+            return;
+        }
+        if record.data.len() != window.counter.width() {
+            self.skipped_width_mismatch += 1;
+            return;
+        }
+        window
+            .counter
+            .add(&record.data)
+            .expect("width checked above");
+        let wchd = record.data.fractional_hamming_distance(device_reference);
+        let fhw = record.data.fractional_hamming_weight();
+        window.wchd_sum += wchd;
+        window.fhw_sum += fhw;
+        if let Some(samples) = &mut window.samples {
+            samples.wchd.push(wchd);
+            samples.fhw.push(fhw);
+        }
+    }
+
+    /// Opens the (device, month) window for `record`, updating the device
+    /// reference and the month-zero candidate.
+    fn open_window(&mut self, record: &Record, ym: (i32, u8), key: (u8, i32, u8)) {
+        match self.devices.get(&record.device.0) {
+            None => {
+                self.devices.insert(
+                    record.device.0,
+                    DeviceState {
+                        reference_month: ym,
+                        reference: record.data.clone(),
+                    },
+                );
+            }
+            Some(state) if ym < state.reference_month => {
+                // An earlier month opened after a later one was accumulated:
+                // every WCHD sum of this device used the wrong reference.
+                self.out_of_order.get_or_insert(record.device);
+            }
+            Some(_) => {}
+        }
+        let retain_samples = match self.min_month {
+            None => {
+                self.min_month = Some(ym);
+                true
+            }
+            Some(min) if ym < min => {
+                // A new month zero: the old candidate's windows no longer
+                // feed the initial-quality bundle, so free their samples.
+                for window in self.windows.values_mut() {
+                    if window.year_month == min {
+                        window.samples = None;
+                    }
+                }
+                self.min_month = Some(ym);
+                true
+            }
+            Some(min) => ym == min,
+        };
+        self.windows.insert(
+            key,
+            WindowState {
+                device: record.device,
+                year_month: ym,
+                counter: OnesCounter::new(record.data.len()),
+                first_read: record.data.clone(),
+                wchd_sum: 0.0,
+                fhw_sum: 0.0,
+                samples: retain_samples.then(WindowSamples::default),
+            },
+        );
+    }
+
+    /// Finalizes the accumulation into an [`Assessment`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Assessment::from_records`], plus
+    /// [`AssessError::OutOfOrder`] for cross-month order violations.
+    pub fn finish(self) -> Result<Assessment, AssessError> {
+        self.finish_with_windows().map(|(assessment, _)| assessment)
+    }
+
+    /// [`finish`](Self::finish), additionally returning every window's
+    /// retained state (sorted by `(device, year, month)`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`finish`](Self::finish).
+    pub fn finish_with_windows(self) -> Result<(Assessment, Vec<WindowSnapshot>), AssessError> {
+        if let Some(device) = self.out_of_order {
+            return Err(AssessError::OutOfOrder { device });
+        }
+        if self.records_seen == 0 {
+            return Err(AssessError::Empty);
+        }
+        if self.windows.is_empty() {
+            return Err(AssessError::NoWindows);
+        }
+
+        // Mirror `Assessment::from_records` step for step (and in the same
+        // iteration order) so every derived float is bit-identical.
+        let mut months: Vec<(i32, u8)> = self.windows.values().map(|w| w.year_month).collect();
+        months.sort_unstable();
+        months.dedup();
+        let month_index: BTreeMap<(i32, u8), u32> = months
+            .iter()
+            .enumerate()
+            .map(|(i, &ym)| (ym, u32::try_from(i).expect("month count fits u32")))
+            .collect();
+        let first_month = months[0];
+
+        let mut devices: Vec<BoardId> = Vec::new();
+        for w in self.windows.values() {
+            if !devices.contains(&w.device) {
+                devices.push(w.device);
+            }
+        }
+        if devices.len() < 2 {
+            return Err(AssessError::TooFewDevices {
+                devices: devices.len(),
+            });
+        }
+        for device in &devices {
+            let has_reference = self.devices[&device.0].reference_month == first_month;
+            if !has_reference {
+                return Err(AssessError::MissingReference { device: *device });
+            }
+        }
+
+        let mut device_months = Vec::with_capacity(self.windows.len());
+        for w in self.windows.values() {
+            let reads = f64::from(w.counter.observations());
+            device_months.push(DeviceMonth {
+                device: w.device,
+                year_month: w.year_month,
+                month_index: month_index[&w.year_month],
+                wchd: w.wchd_sum / reads,
+                fhw: w.fhw_sum / reads,
+                noise_entropy: noise_entropy(&w.counter),
+                stable_ratio: stable_cell_ratio(&w.counter),
+            });
+        }
+
+        let mut aggregates = Vec::with_capacity(months.len());
+        for &ym in &months {
+            let of_month: Vec<&DeviceMonth> = device_months
+                .iter()
+                .filter(|d| d.year_month == ym)
+                .collect();
+            let firsts: BitMatrix = self
+                .windows
+                .values()
+                .filter(|w| w.year_month == ym)
+                .map(|w| w.first_read.clone())
+                .collect();
+            let bchd_samples = crate::metrics::between_class_hds(&firsts);
+            aggregates.push(MonthlyAggregate {
+                month_index: month_index[&ym],
+                year_month: ym,
+                wchd: Summary::of(of_month.iter().map(|d| d.wchd)),
+                fhw: Summary::of(of_month.iter().map(|d| d.fhw)),
+                noise_entropy: Summary::of(of_month.iter().map(|d| d.noise_entropy)),
+                stable_ratio: Summary::of(of_month.iter().map(|d| d.stable_ratio)),
+                bchd: Summary::of(bchd_samples),
+                puf_entropy: puf_entropy(&firsts),
+            });
+        }
+
+        // Fig. 5 bundle from the month-zero samples (retained per window in
+        // arrival order; concatenated here in window order, exactly as
+        // `InitialQuality::evaluate` walks the retained matrices).
+        let mut wchd_samples = Vec::new();
+        let mut fhw_samples = Vec::new();
+        let mut references = Vec::new();
+        for w in self
+            .windows
+            .values()
+            .filter(|w| w.year_month == first_month)
+        {
+            let samples = w
+                .samples
+                .as_ref()
+                .expect("month-zero windows retain samples");
+            wchd_samples.extend_from_slice(&samples.wchd);
+            fhw_samples.extend_from_slice(&samples.fhw);
+            references.push(w.first_read.clone());
+        }
+        let references = BitMatrix::from_rows(references).expect("equal read widths");
+        let bchd_samples = crate::metrics::between_class_hds(&references);
+        let initial_quality = InitialQuality::from_samples(wchd_samples, bchd_samples, fhw_samples);
+
+        let assessment =
+            Assessment::from_parts(self.protocol, device_months, aggregates, initial_quality);
+        let snapshots = self
+            .windows
+            .into_values()
+            .map(|w| WindowSnapshot {
+                device: w.device,
+                year_month: w.year_month,
+                counter: w.counter,
+                first_read: w.first_read,
+            })
+            .collect();
+        Ok((assessment, snapshots))
+    }
+}
+
+/// A campaign can stream straight into the accumulator: the direct
+/// campaign → assessment pipe that never materialises a dataset.
+impl RecordSink for WindowAccumulator {
+    fn record(&mut self, record: &Record) -> io::Result<()> {
+        self.push(record);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puftestbed::{CalendarDate, Campaign, CampaignConfig, Timestamp};
+
+    fn campaign_config(months: u32, boards: usize) -> CampaignConfig {
+        CampaignConfig {
+            boards,
+            sram_bits: 1024,
+            read_bits: 1024,
+            months,
+            reads_per_window: 25,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn protocol() -> EvaluationProtocol {
+        EvaluationProtocol {
+            reads_per_window: 25,
+            ..EvaluationProtocol::default()
+        }
+    }
+
+    #[test]
+    fn streaming_equals_in_memory_exactly() {
+        let dataset = Campaign::new(campaign_config(3, 4), 91).run_in_memory();
+        let in_memory = Assessment::from_records(dataset.records(), &protocol()).unwrap();
+        let streamed = Assessment::from_record_stream(dataset.records(), &protocol()).unwrap();
+        // Bit-exact: every float was accumulated in the same order.
+        assert_eq!(in_memory, streamed);
+        assert_eq!(in_memory.table1().render(), streamed.table1().render());
+    }
+
+    #[test]
+    fn campaign_pipes_directly_into_the_accumulator() {
+        let mut accumulator = WindowAccumulator::new(protocol());
+        Campaign::new(campaign_config(2, 3), 92)
+            .run(&mut accumulator)
+            .unwrap();
+        assert_eq!(accumulator.windows_open(), 3 * 3);
+        let direct = accumulator.finish().unwrap();
+        let dataset = Campaign::new(campaign_config(2, 3), 92).run_in_memory();
+        let replay = Assessment::from_records(dataset.records(), &protocol()).unwrap();
+        assert_eq!(direct, replay);
+    }
+
+    #[test]
+    fn snapshots_carry_the_window_counters() {
+        let dataset = Campaign::new(campaign_config(1, 2), 93).run_in_memory();
+        let mut accumulator = WindowAccumulator::new(protocol());
+        for r in dataset.records() {
+            accumulator.push(r);
+        }
+        let (_, snapshots) = accumulator.finish_with_windows().unwrap();
+        assert_eq!(snapshots.len(), 2 * 2);
+        for s in &snapshots {
+            assert_eq!(s.counter.observations(), 25);
+            assert_eq!(s.first_read.len(), 1024);
+        }
+        // Sorted by (device, year, month).
+        assert!(snapshots
+            .windows(2)
+            .all(|p| { (p[0].device.0, p[0].year_month) <= (p[1].device.0, p[1].year_month) }));
+    }
+
+    #[test]
+    fn width_mismatches_are_skipped_and_counted() {
+        use pufbits::BitVec;
+        let at = |d: u8, seq: u64, offset: f64| {
+            Record::new(
+                BoardId(d),
+                seq,
+                Timestamp::from_date(CalendarDate::new(2017, 2, 8)).offset_by(offset),
+                BitVec::from_bytes(&[seq as u8]),
+            )
+        };
+        let mut accumulator = WindowAccumulator::new(protocol());
+        accumulator.push(&at(0, 0, 0.0));
+        // Truncated read-out: 4 bits instead of 8.
+        accumulator.push(&Record::new(
+            BoardId(0),
+            1,
+            Timestamp::from_date(CalendarDate::new(2017, 2, 8)).offset_by(5.4),
+            BitVec::zeros(4),
+        ));
+        accumulator.push(&at(0, 2, 10.8));
+        accumulator.push(&at(1, 0, 1.0));
+        assert_eq!(accumulator.skipped_width_mismatch(), 1);
+        let (_, snapshots) = accumulator.finish_with_windows().unwrap();
+        assert_eq!(snapshots[0].counter.observations(), 2);
+    }
+
+    #[test]
+    fn out_of_order_streams_are_detected() {
+        use pufbits::BitVec;
+        let at = |month: u8, seq: u64| {
+            Record::new(
+                BoardId(0),
+                seq,
+                Timestamp::from_date(CalendarDate::new(2017, month, 8)),
+                BitVec::from_bytes(&[seq as u8]),
+            )
+        };
+        let mut accumulator = WindowAccumulator::new(protocol());
+        accumulator.push(&at(3, 500_000)); // March first…
+        accumulator.push(&at(2, 0)); // …then February: reference was wrong.
+        let err = accumulator.finish().unwrap_err();
+        assert_eq!(err, AssessError::OutOfOrder { device: BoardId(0) });
+    }
+
+    #[test]
+    fn empty_and_windowless_streams_are_rejected() {
+        let accumulator = WindowAccumulator::new(protocol());
+        assert_eq!(accumulator.finish().unwrap_err(), AssessError::Empty);
+
+        use pufbits::BitVec;
+        let mut accumulator = WindowAccumulator::new(protocol());
+        // Eligible day is the 8th; the 7th never opens a window.
+        accumulator.push(&Record::new(
+            BoardId(0),
+            0,
+            Timestamp::from_date(CalendarDate::new(2017, 2, 7)),
+            BitVec::from_bytes(&[1]),
+        ));
+        assert_eq!(accumulator.finish().unwrap_err(), AssessError::NoWindows);
+    }
+}

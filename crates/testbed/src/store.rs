@@ -13,8 +13,10 @@ use std::fmt;
 use std::io::{self, BufRead, Write};
 
 pub mod json;
+pub mod reader;
 
 use json::JsonValue;
+pub use reader::{ParallelRecordReader, DEFAULT_BATCH_LINES};
 
 /// One stored measurement: which device, which power cycle, when, and the
 /// captured pattern.
@@ -56,6 +58,10 @@ impl Record {
     }
 
     /// Serializes to one line of JSON (no trailing newline).
+    ///
+    /// All integer fields are written exactly — `seq` values above 2^53 and
+    /// extreme timestamps survive the round-trip bit-for-bit (an `f64`
+    /// detour would silently corrupt them).
     pub fn to_json_line(&self) -> String {
         let hex: String = self
             .data
@@ -63,20 +69,18 @@ impl Record {
             .iter()
             .map(|b| format!("{b:02x}"))
             .collect();
+        let timestamp = match u64::try_from(self.timestamp.0) {
+            Ok(t) => JsonValue::UInt(t),
+            Err(_) => JsonValue::Int(self.timestamp.0),
+        };
         let obj = JsonValue::Object(vec![
             (
                 "device".to_string(),
-                JsonValue::Number(f64::from(self.device.0)),
+                JsonValue::UInt(u64::from(self.device.0)),
             ),
-            ("seq".to_string(), JsonValue::Number(self.seq as f64)),
-            (
-                "timestamp".to_string(),
-                JsonValue::Number(self.timestamp.0 as f64),
-            ),
-            (
-                "bits".to_string(),
-                JsonValue::Number(self.data.len() as f64),
-            ),
+            ("seq".to_string(), JsonValue::UInt(self.seq)),
+            ("timestamp".to_string(), timestamp),
+            ("bits".to_string(), JsonValue::UInt(self.data.len() as u64)),
             ("data".to_string(), JsonValue::String(hex)),
         ]);
         obj.to_string()
@@ -87,7 +91,9 @@ impl Record {
     ///
     /// # Errors
     ///
-    /// Returns [`ParseRecordError`] on malformed JSON, missing fields, or
+    /// Returns [`ParseRecordError`] on malformed JSON, missing fields,
+    /// integer fields outside their domain (e.g. `device` above 255 or a
+    /// negative `seq` — rejected, never silently truncated), or
     /// inconsistent bit counts.
     pub fn parse_json_line(line: &str) -> Result<Self, ParseRecordError> {
         let value = json::parse(line).map_err(ParseRecordError::Json)?;
@@ -100,15 +106,37 @@ impl Record {
                 .map(|(_, v)| v)
                 .ok_or_else(|| ParseRecordError::Malformed(format!("missing field `{name}`")))
         };
-        let num = |name: &str| -> Result<f64, ParseRecordError> {
-            field(name)?
-                .as_number()
-                .ok_or_else(|| ParseRecordError::Malformed(format!("field `{name}` not a number")))
+        let uint = |name: &'static str| -> Result<u64, ParseRecordError> {
+            let value = field(name)?;
+            value.as_u64().ok_or_else(|| ParseRecordError::OutOfRange {
+                field: name,
+                value: value.to_string(),
+            })
         };
-        let device = BoardId(num("device")? as u8);
-        let seq = num("seq")? as u64;
-        let timestamp = Timestamp(num("timestamp")? as i64);
-        let bits = num("bits")? as usize;
+        let device_raw = uint("device")?;
+        let device =
+            BoardId(
+                u8::try_from(device_raw).map_err(|_| ParseRecordError::OutOfRange {
+                    field: "device",
+                    value: device_raw.to_string(),
+                })?,
+            );
+        let seq = uint("seq")?;
+        let ts_value = field("timestamp")?;
+        let timestamp =
+            Timestamp(
+                ts_value
+                    .as_i64()
+                    .ok_or_else(|| ParseRecordError::OutOfRange {
+                        field: "timestamp",
+                        value: ts_value.to_string(),
+                    })?,
+            );
+        let bits_raw = uint("bits")?;
+        let bits = usize::try_from(bits_raw).map_err(|_| ParseRecordError::OutOfRange {
+            field: "bits",
+            value: bits_raw.to_string(),
+        })?;
         let hex = field("data")?
             .as_str()
             .ok_or_else(|| ParseRecordError::Malformed("field `data` not a string".into()))?;
@@ -145,6 +173,42 @@ pub enum ParseRecordError {
     Json(json::ParseJsonError),
     /// The JSON did not describe a record.
     Malformed(String),
+    /// A field held a number outside its domain (e.g. `device` above 255,
+    /// a negative or fractional `seq`). Distinct from [`Malformed`] so
+    /// readers cannot confuse truncation-prone values with structural noise.
+    ///
+    /// [`Malformed`]: Self::Malformed
+    OutOfRange {
+        /// The offending field.
+        field: &'static str,
+        /// The rejected value, as it appeared in the JSON.
+        value: String,
+    },
+    /// The underlying stream failed mid-read. Unlike the parse variants this
+    /// does not describe one bad line: everything after it is missing, so
+    /// consumers must abort, not skip.
+    Io {
+        /// The I/O error kind.
+        kind: io::ErrorKind,
+        /// The I/O error message.
+        message: String,
+    },
+}
+
+impl ParseRecordError {
+    /// Converts an I/O failure into its in-band error item.
+    pub fn from_io(e: &io::Error) -> Self {
+        ParseRecordError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Whether this error means the stream itself broke (so the remaining
+    /// data is unreadable) rather than one line being bad.
+    pub fn is_io(&self) -> bool {
+        matches!(self, ParseRecordError::Io { .. })
+    }
 }
 
 impl fmt::Display for ParseRecordError {
@@ -152,6 +216,12 @@ impl fmt::Display for ParseRecordError {
         match self {
             ParseRecordError::Json(e) => write!(f, "invalid json: {e}"),
             ParseRecordError::Malformed(msg) => write!(f, "malformed record: {msg}"),
+            ParseRecordError::OutOfRange { field, value } => {
+                write!(f, "field `{field}` out of range: {value}")
+            }
+            ParseRecordError::Io { kind, message } => {
+                write!(f, "io error ({kind:?}): {message}")
+            }
         }
     }
 }
@@ -160,7 +230,9 @@ impl Error for ParseRecordError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ParseRecordError::Json(e) => Some(e),
-            ParseRecordError::Malformed(_) => None,
+            ParseRecordError::Malformed(_)
+            | ParseRecordError::OutOfRange { .. }
+            | ParseRecordError::Io { .. } => None,
         }
     }
 }
@@ -250,16 +322,33 @@ impl RecordSink for MemorySink {
 ///
 /// # Errors
 ///
-/// Returns an error on I/O failure; individual malformed lines are returned
-/// as `Err` items.
+/// Individual malformed lines are returned as `Err` items with a parse
+/// variant; a failure of the underlying stream is returned as
+/// [`ParseRecordError::Io`] (and ends the iteration — everything after a
+/// broken read is missing, so consumers must abort rather than skip).
 pub fn read_json_lines<R: BufRead>(
     reader: R,
 ) -> impl Iterator<Item = Result<Record, ParseRecordError>> {
-    reader.lines().filter_map(|line| match line {
-        Ok(l) if l.trim().is_empty() => None,
-        Ok(l) => Some(Record::parse_json_line(&l)),
-        Err(e) => Some(Err(ParseRecordError::Malformed(format!("io error: {e}")))),
-    })
+    let mut failed = false;
+    reader
+        .lines()
+        .map_while(move |line| {
+            if failed {
+                return None;
+            }
+            match line {
+                Ok(l) => Some(Ok(l)),
+                Err(e) => {
+                    failed = true;
+                    Some(Err(ParseRecordError::from_io(&e)))
+                }
+            }
+        })
+        .filter_map(|line| match line {
+            Ok(l) if l.trim().is_empty() => None,
+            Ok(l) => Some(Record::parse_json_line(&l)),
+            Err(e) => Some(Err(e)),
+        })
 }
 
 #[cfg(test)]
@@ -313,6 +402,123 @@ mod tests {
     fn missing_fields_are_reported() {
         let err = Record::parse_json_line(r#"{"device":1}"#).unwrap_err();
         assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn extreme_integer_fields_round_trip_exactly() {
+        // seq above 2^53 and i64-extreme timestamps corrupt through f64;
+        // the store must carry them bit-for-bit.
+        for (seq, ts) in [
+            (u64::MAX, i64::MAX),
+            (u64::MAX - 1, i64::MIN),
+            ((1u64 << 53) + 1, -1),
+            (0, 0),
+        ] {
+            let r = Record::new(
+                BoardId(255),
+                seq,
+                Timestamp(ts),
+                BitVec::from_bytes(&[0xA5]),
+            );
+            let line = r.to_json_line();
+            let back = Record::parse_json_line(&line).unwrap();
+            assert_eq!(back, r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_fields_are_rejected_not_truncated() {
+        // device 300 used to truncate to 255 via `as u8`.
+        let line = r#"{"device":300,"seq":0,"timestamp":0,"bits":8,"data":"ff"}"#;
+        let err = Record::parse_json_line(line).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseRecordError::OutOfRange {
+                    field: "device",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // A negative seq used to saturate to 0 via `as u64`.
+        let line = r#"{"device":0,"seq":-3,"timestamp":0,"bits":8,"data":"ff"}"#;
+        let err = Record::parse_json_line(line).unwrap_err();
+        assert!(
+            matches!(err, ParseRecordError::OutOfRange { field: "seq", .. }),
+            "{err}"
+        );
+        // Fractional counts are meaningless, not roundable.
+        let line = r#"{"device":0,"seq":1.5,"timestamp":0,"bits":8,"data":"ff"}"#;
+        assert!(matches!(
+            Record::parse_json_line(line).unwrap_err(),
+            ParseRecordError::OutOfRange { field: "seq", .. }
+        ));
+        // A timestamp beyond i64 cannot be represented.
+        let line = r#"{"device":0,"seq":0,"timestamp":18446744073709551615,"bits":8,"data":"ff"}"#;
+        assert!(matches!(
+            Record::parse_json_line(line).unwrap_err(),
+            ParseRecordError::OutOfRange {
+                field: "timestamp",
+                ..
+            }
+        ));
+    }
+
+    /// A reader that yields some valid bytes, then an I/O error.
+    struct FailingReader {
+        data: std::io::Cursor<Vec<u8>>,
+        failed: bool,
+    }
+
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = self.data.read(buf)?;
+            if n == 0 && !self.failed {
+                self.failed = true;
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "link died"));
+            }
+            Ok(n)
+        }
+    }
+
+    impl BufRead for FailingReader {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.data.position() as usize == self.data.get_ref().len() && !self.failed {
+                self.failed = true;
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "link died"));
+            }
+            self.data.fill_buf()
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.data.consume(amt);
+        }
+    }
+
+    #[test]
+    fn mid_stream_io_errors_are_not_misreported_as_bad_lines() {
+        let mut data = sample(0, 1).to_json_line().into_bytes();
+        data.push(b'\n');
+        let reader = FailingReader {
+            data: std::io::Cursor::new(data),
+            failed: false,
+        };
+        let items: Vec<_> = read_json_lines(reader).collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_ok());
+        let err = items[1].as_ref().unwrap_err();
+        assert!(err.is_io(), "{err}");
+        assert!(
+            matches!(
+                err,
+                ParseRecordError::Io {
+                    kind: io::ErrorKind::BrokenPipe,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -26,8 +26,13 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number (stored as `f64`).
+    /// A non-integral (or out-of-integer-range) JSON number, stored as `f64`.
     Number(f64),
+    /// A non-negative integer, stored exactly. `u64` round-trips losslessly
+    /// where `f64` would silently lose precision above 2^53.
+    UInt(u64),
+    /// A negative integer, stored exactly.
+    Int(i64),
     /// A string.
     String(String),
     /// An array.
@@ -53,10 +58,38 @@ impl JsonValue {
         }
     }
 
-    /// The number, if this is a number.
+    /// The number as `f64`, if this is any numeric variant. Integers above
+    /// 2^53 lose precision here; use [`as_u64`](Self::as_u64) or
+    /// [`as_i64`](Self::as_i64) for exact conversions.
     pub fn as_number(&self) -> Option<f64> {
         match self {
             JsonValue::Number(n) => Some(*n),
+            JsonValue::UInt(n) => Some(*n as f64),
+            JsonValue::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact `u64` value, if this is a numeric variant representing a
+    /// non-negative integer that fits. Floats qualify only when integral and
+    /// exactly representable (|n| < 2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            JsonValue::Int(n) => u64::try_from(*n).ok(),
+            JsonValue::Number(n) => exact_integral_f64(*n).and_then(|i| u64::try_from(i).ok()),
+            _ => None,
+        }
+    }
+
+    /// The exact `i64` value, if this is a numeric variant representing an
+    /// integer that fits. Floats qualify only when integral and exactly
+    /// representable (|n| < 2^53).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::UInt(n) => i64::try_from(*n).ok(),
+            JsonValue::Int(n) => Some(*n),
+            JsonValue::Number(n) => exact_integral_f64(*n),
             _ => None,
         }
     }
@@ -78,11 +111,24 @@ impl JsonValue {
     }
 }
 
+/// The exact integer behind `n`, if `n` is integral and within the range
+/// where `f64` represents every integer exactly (|n| < 2^53).
+fn exact_integral_f64(n: f64) -> Option<i64> {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if n.fract() == 0.0 && n.abs() < EXACT {
+        Some(n as i64)
+    } else {
+        None
+    }
+}
+
 impl fmt::Display for JsonValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JsonValue::Null => write!(f, "null"),
             JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::UInt(n) => write!(f, "{n}"),
+            JsonValue::Int(n) => write!(f, "{n}"),
             JsonValue::Number(n) => {
                 if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     write!(f, "{}", *n as i64)
@@ -334,13 +380,16 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -351,6 +400,16 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid number"))?;
+        // Plain integer literals are kept exact; `f64` is only the fallback
+        // for fractions, exponents, and magnitudes beyond 64-bit range.
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(n));
+            }
+        }
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| ParseJsonError {
@@ -369,7 +428,8 @@ mod tests {
         assert_eq!(parse("null").unwrap(), JsonValue::Null);
         assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
         assert_eq!(parse("false").unwrap(), JsonValue::Bool(false));
-        assert_eq!(parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(parse("42").unwrap(), JsonValue::UInt(42));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
         assert_eq!(parse("-1.5e2").unwrap(), JsonValue::Number(-150.0));
         assert_eq!(
             parse("\"hi\"").unwrap(),
@@ -404,7 +464,7 @@ mod tests {
     fn display_round_trips_structures() {
         let v = JsonValue::Object(vec![
             ("n".into(), JsonValue::Number(3.25)),
-            ("i".into(), JsonValue::Number(7.0)),
+            ("i".into(), JsonValue::UInt(7)),
             (
                 "arr".into(),
                 JsonValue::Array(vec![JsonValue::Bool(false), JsonValue::Null]),
@@ -414,6 +474,35 @@ mod tests {
         assert_eq!(parse(&text).unwrap(), v);
         // Integral numbers print without a decimal point.
         assert!(text.contains("\"i\":7"));
+    }
+
+    #[test]
+    fn extreme_integers_stay_exact() {
+        // Above 2^53 an f64 detour would corrupt the low bits.
+        let max = u64::MAX.to_string();
+        assert_eq!(parse(&max).unwrap(), JsonValue::UInt(u64::MAX));
+        assert_eq!(parse(&max).unwrap().to_string(), max);
+        let min = i64::MIN.to_string();
+        assert_eq!(parse(&min).unwrap(), JsonValue::Int(i64::MIN));
+        assert_eq!(parse(&min).unwrap().to_string(), min);
+        // Beyond u64/i64 range, integers degrade to f64 rather than failing.
+        assert!(matches!(
+            parse("99999999999999999999999999").unwrap(),
+            JsonValue::Number(_)
+        ));
+    }
+
+    #[test]
+    fn exact_accessors_reject_lossy_conversions() {
+        assert_eq!(JsonValue::UInt(u64::MAX).as_u64(), Some(u64::MAX));
+        assert_eq!(JsonValue::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(JsonValue::Int(-1).as_u64(), None);
+        assert_eq!(JsonValue::Int(-1).as_i64(), Some(-1));
+        assert_eq!(JsonValue::Number(2.0).as_u64(), Some(2));
+        assert_eq!(JsonValue::Number(2.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(1e300).as_i64(), None);
+        assert_eq!(JsonValue::Number(-3.0).as_i64(), Some(-3));
+        assert_eq!(JsonValue::Bool(true).as_u64(), None);
     }
 
     #[test]

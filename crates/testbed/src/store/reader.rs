@@ -1,0 +1,346 @@
+//! Bounded-memory parallel ingest of JSON-lines record streams.
+//!
+//! [`read_json_lines`](super::read_json_lines) parses sequentially on the
+//! caller's thread. At paper scale (~175 M records, ~350 GB of JSON) the
+//! parse dominates ingest, so [`ParallelRecordReader`] fans fixed-size line
+//! batches out to worker threads through *bounded* channels: peak memory is
+//! `O(threads × batch_lines)` regardless of file size, and the yielded
+//! record order is identical to the sequential reader's (batches are
+//! re-sequenced by index on the consumer side).
+//!
+//! ```text
+//!  reader thread ──(idx, Vec<String>)──▶ workers ──(idx, Vec<Result>)──▶ reorder ──▶ iterator
+//!        bounded sync_channel                bounded sync_channel        BTreeMap
+//! ```
+//!
+//! A mid-stream I/O failure is delivered in-band as a
+//! [`ParseRecordError::Io`] item at the exact position it occurred, then the
+//! stream ends — consumers can abort loudly instead of assessing partial
+//! data.
+
+use super::{ParseRecordError, Record};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufRead;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default number of lines per parse batch.
+pub const DEFAULT_BATCH_LINES: usize = 1024;
+
+type ResultBatch = (usize, Vec<Result<Record, ParseRecordError>>);
+
+/// Iterator over records parsed from a JSON-lines stream by a pool of
+/// worker threads, in input order.
+///
+/// Construct with [`ParallelRecordReader::spawn`]. Dropping the iterator
+/// early shuts the pipeline down and joins every thread.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use puftestbed::store::{ParallelRecordReader, RecordSink, JsonLinesSink};
+/// use puftestbed::{BoardId, Record, Timestamp};
+///
+/// let mut sink = JsonLinesSink::new(Vec::new());
+/// for seq in 0..100 {
+///     let r = Record::new(BoardId(1), seq, Timestamp(0), BitVec::from_bytes(&[0xA5]));
+///     sink.record(&r).unwrap();
+/// }
+/// let bytes = sink.into_inner().unwrap();
+/// let records: Vec<Record> = ParallelRecordReader::spawn(std::io::Cursor::new(bytes), 4, 8)
+///     .collect::<Result<_, _>>()
+///     .unwrap();
+/// assert_eq!(records.len(), 100);
+/// assert_eq!(records[99].seq, 99);
+/// ```
+#[derive(Debug)]
+pub struct ParallelRecordReader {
+    /// Results ready to be yielded, in order.
+    ready: VecDeque<Result<Record, ParseRecordError>>,
+    /// Out-of-order batches waiting for their predecessors.
+    reorder: BTreeMap<usize, Vec<Result<Record, ParseRecordError>>>,
+    /// Index of the next batch to yield.
+    next_batch: usize,
+    results: Option<Receiver<ResultBatch>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ParallelRecordReader {
+    /// Spawns the reader/worker pipeline over `reader`.
+    ///
+    /// `threads` is clamped to at least 1; `batch_lines` of 0 is treated
+    /// as 1. In-flight memory is bounded by roughly
+    /// `4 × threads × batch_lines` lines (two bounded channels plus the
+    /// batches held by the workers themselves).
+    pub fn spawn<R: BufRead + Send + 'static>(
+        reader: R,
+        threads: usize,
+        batch_lines: usize,
+    ) -> Self {
+        let threads = threads.max(1);
+        let batch_lines = batch_lines.max(1);
+        let (work_tx, work_rx) = mpsc::sync_channel::<(usize, Vec<String>)>(threads);
+        let (result_tx, result_rx) = mpsc::sync_channel::<ResultBatch>(threads);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let mut handles = Vec::with_capacity(threads + 1);
+        for _ in 0..threads {
+            let work_rx = Arc::clone(&work_rx);
+            let result_tx = result_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                parse_worker(&work_rx, &result_tx)
+            }));
+        }
+        handles.push(std::thread::spawn(move || {
+            read_batches(reader, batch_lines, &work_tx, &result_tx);
+        }));
+
+        Self {
+            ready: VecDeque::new(),
+            reorder: BTreeMap::new(),
+            next_batch: 0,
+            results: Some(result_rx),
+            handles,
+        }
+    }
+
+    /// Pulls result batches until the next in-order batch is available (or
+    /// the pipeline is exhausted), refilling `ready`.
+    fn refill(&mut self) {
+        let Some(results) = &self.results else {
+            return;
+        };
+        while self.ready.is_empty() {
+            // Drain contiguous batches already waiting in the reorder map.
+            while let Some(batch) = self.reorder.remove(&self.next_batch) {
+                self.next_batch += 1;
+                self.ready.extend(batch);
+            }
+            if !self.ready.is_empty() {
+                return;
+            }
+            match results.recv() {
+                Ok((idx, batch)) => {
+                    self.reorder.insert(idx, batch);
+                }
+                Err(_) => {
+                    // Pipeline finished; everything left must be contiguous.
+                    while let Some(batch) = self.reorder.remove(&self.next_batch) {
+                        self.next_batch += 1;
+                        self.ready.extend(batch);
+                    }
+                    debug_assert!(self.reorder.is_empty(), "gap in batch sequence");
+                    self.shutdown();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        // Dropping the receiver makes every pending worker/reader send fail,
+        // so the threads unwind promptly even on early drop.
+        self.results = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Iterator for ParallelRecordReader {
+    type Item = Result<Record, ParseRecordError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.ready.is_empty() {
+            self.refill();
+        }
+        self.ready.pop_front()
+    }
+}
+
+impl Drop for ParallelRecordReader {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reader-thread body: slice the stream into line batches, push them to the
+/// workers, and deliver I/O failures in-band at the position they occurred.
+fn read_batches<R: BufRead>(
+    reader: R,
+    batch_lines: usize,
+    work_tx: &SyncSender<(usize, Vec<String>)>,
+    result_tx: &SyncSender<ResultBatch>,
+) {
+    let mut idx = 0usize;
+    let mut batch: Vec<String> = Vec::with_capacity(batch_lines);
+    for line in reader.lines() {
+        match line {
+            Ok(l) => {
+                batch.push(l);
+                if batch.len() == batch_lines {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_lines));
+                    if work_tx.send((idx, full)).is_err() {
+                        return; // consumer dropped
+                    }
+                    idx += 1;
+                }
+            }
+            Err(e) => {
+                // Flush what parsed cleanly, then the error, then stop: the
+                // rest of the stream is unreadable.
+                if !batch.is_empty() {
+                    if work_tx.send((idx, std::mem::take(&mut batch))).is_err() {
+                        return;
+                    }
+                    idx += 1;
+                }
+                let _ = result_tx.send((idx, vec![Err(ParseRecordError::from_io(&e))]));
+                return;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        let _ = work_tx.send((idx, batch));
+    }
+}
+
+/// Worker-thread body: parse line batches, preserving every line's outcome
+/// (blank lines are dropped exactly as the sequential reader drops them).
+fn parse_worker(
+    work_rx: &Mutex<Receiver<(usize, Vec<String>)>>,
+    result_tx: &SyncSender<ResultBatch>,
+) {
+    loop {
+        let received = {
+            let rx = work_rx.lock().expect("work queue lock poisoned");
+            rx.recv()
+        };
+        let Ok((idx, lines)) = received else {
+            return; // reader finished and channel drained
+        };
+        let parsed: Vec<Result<Record, ParseRecordError>> = lines
+            .iter()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| Record::parse_json_line(l))
+            .collect();
+        if result_tx.send((idx, parsed)).is_err() {
+            return; // consumer dropped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{read_json_lines, JsonLinesSink, RecordSink};
+    use crate::{BoardId, Timestamp};
+    use pufbits::BitVec;
+    use std::io::Cursor;
+
+    fn jsonl(n: u64) -> Vec<u8> {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        for seq in 0..n {
+            let r = Record::new(
+                BoardId((seq % 5) as u8),
+                seq,
+                Timestamp(seq as i64),
+                BitVec::from_bytes(&[seq as u8, 0xA5]),
+            );
+            sink.record(&r).unwrap();
+        }
+        sink.into_inner().unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_reader_for_every_thread_count() {
+        let bytes = jsonl(257); // deliberately not a batch multiple
+        let sequential: Vec<_> = read_json_lines(Cursor::new(bytes.clone())).collect();
+        for threads in [1, 2, 7] {
+            let parallel: Vec<_> =
+                ParallelRecordReader::spawn(Cursor::new(bytes.clone()), threads, 16).collect();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_surface_in_position() {
+        let mut bytes = jsonl(10);
+        bytes.extend_from_slice(b"not json\n");
+        bytes.extend_from_slice(&jsonl(3));
+        let items: Vec<_> = ParallelRecordReader::spawn(Cursor::new(bytes), 3, 4).collect();
+        assert_eq!(items.len(), 14);
+        assert!(items[10].is_err());
+        assert_eq!(items.iter().filter(|i| i.is_err()).count(), 1);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_like_the_sequential_reader() {
+        let mut bytes = b"\n\n".to_vec();
+        bytes.extend_from_slice(&jsonl(5));
+        bytes.extend_from_slice(b"\n");
+        let records: Vec<_> = ParallelRecordReader::spawn(Cursor::new(bytes), 2, 2)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(records.len(), 5);
+    }
+
+    #[test]
+    fn early_drop_joins_cleanly() {
+        let bytes = jsonl(1000);
+        let mut reader = ParallelRecordReader::spawn(Cursor::new(bytes), 4, 8);
+        assert!(reader.next().is_some());
+        drop(reader); // must not deadlock or leak threads
+    }
+
+    /// A `BufRead` that fails after the underlying data is exhausted.
+    struct FailingReader {
+        data: Cursor<Vec<u8>>,
+        failed: bool,
+    }
+
+    impl std::io::Read for FailingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.data.read(buf)?;
+            if n == 0 && !self.failed {
+                self.failed = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated",
+                ));
+            }
+            Ok(n)
+        }
+    }
+
+    impl BufRead for FailingReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.data.position() as usize == self.data.get_ref().len() && !self.failed {
+                self.failed = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "truncated",
+                ));
+            }
+            self.data.fill_buf()
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.data.consume(amt);
+        }
+    }
+
+    #[test]
+    fn io_failure_arrives_in_band_after_the_good_records() {
+        let reader = FailingReader {
+            data: Cursor::new(jsonl(10)),
+            failed: false,
+        };
+        let items: Vec<_> = ParallelRecordReader::spawn(reader, 3, 4).collect();
+        assert_eq!(items.len(), 11);
+        assert!(items[..10].iter().all(Result::is_ok));
+        assert!(items[10].as_ref().unwrap_err().is_io());
+    }
+}

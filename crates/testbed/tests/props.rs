@@ -5,7 +5,7 @@ use pufbits::BitVec;
 use puftestbed::i2c::{decode_message, encode_message};
 use puftestbed::schedule::{two_layer_schedule, HandshakeMachine, LayerPhase};
 use puftestbed::store::json::{self, JsonValue};
-use puftestbed::store::Record;
+use puftestbed::store::{ParseRecordError, Record};
 use puftestbed::{BoardId, CalendarDate, Timestamp};
 
 proptest! {
@@ -57,6 +57,35 @@ proptest! {
         );
         let line = record.to_json_line();
         prop_assert_eq!(Record::parse_json_line(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn extreme_records_round_trip_losslessly(device in any::<u8>(), seq in any::<u64>(), ts in any::<i64>(), bits in prop::collection::vec(any::<bool>(), 1..64)) {
+        // The whole u64/i64 domains, including values a f64 cannot hold
+        // exactly: the store must never route integers through floats.
+        let record = Record::new(BoardId(device), seq, Timestamp(ts), BitVec::from_bits(bits));
+        let parsed = Record::parse_json_line(&record.to_json_line()).unwrap();
+        prop_assert_eq!(parsed.seq, record.seq);
+        prop_assert_eq!(parsed.timestamp, record.timestamp);
+        prop_assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn oversized_devices_are_rejected_not_truncated(device in 256u64..=u64::MAX) {
+        let line = format!(
+            r#"{{"device":{device},"seq":0,"timestamp":0,"bits":8,"data":"00"}}"#
+        );
+        let err = Record::parse_json_line(&line).unwrap_err();
+        prop_assert!(matches!(err, ParseRecordError::OutOfRange { field: "device", .. }), "{:?}", err);
+    }
+
+    #[test]
+    fn negative_sequence_numbers_are_rejected_not_clamped(seq in i64::MIN..0) {
+        let line = format!(
+            r#"{{"device":0,"seq":{seq},"timestamp":0,"bits":8,"data":"00"}}"#
+        );
+        let err = Record::parse_json_line(&line).unwrap_err();
+        prop_assert!(matches!(err, ParseRecordError::OutOfRange { field: "seq", .. }), "{:?}", err);
     }
 
     #[test]

@@ -234,16 +234,19 @@ impl HealthMonitor {
 
     /// Feeds one raw bit through both tests.
     ///
+    /// Both tests always run and each failure counts as its own alarm: a
+    /// bit that trips the repetition-count *and* the adaptive-proportion
+    /// test raises two alarms, not one.
+    ///
     /// # Errors
     ///
-    /// Returns the first failing test's alarm.
+    /// Returns the first failing test's alarm (RCT before APT).
     pub fn feed(&mut self, bit: bool) -> Result<(), HealthFailure> {
         self.bits_seen += 1;
-        let result = self.rct.feed(bit).and(self.apt.feed(bit));
-        if result.is_err() {
-            self.alarms += 1;
-        }
-        result
+        let rct = self.rct.feed(bit);
+        let apt = self.apt.feed(bit);
+        self.alarms += u64::from(rct.is_err()) + u64::from(apt.is_err());
+        rct.and(apt)
     }
 
     /// Raw bits observed.
@@ -351,6 +354,33 @@ mod tests {
             };
             monitor.feed(bit).expect("honest claim must pass");
         }
+    }
+
+    #[test]
+    fn simultaneous_failures_count_both_alarms() {
+        // On an all-ones stream the RCT alarms every `r` bits and the APT
+        // every `c` bits, so bit r·c trips both tests at once. The monitor
+        // must book two alarms for that bit, not one.
+        let mut monitor = HealthMonitor::new(1.0);
+        let mut rct = RepetitionCountTest::new(1.0);
+        let mut apt = AdaptiveProportionTest::new(1.0);
+        let r = u64::from(rct.cutoff());
+        let c = u64::from(apt.cutoff());
+        let mut expected = 0u64;
+        let mut simultaneous = 0u64;
+        let mut last = Ok(());
+        for _ in 0..r * c {
+            let rct_failed = rct.feed(true).is_err();
+            let apt_failed = apt.feed(true).is_err();
+            expected += u64::from(rct_failed) + u64::from(apt_failed);
+            simultaneous += u64::from(rct_failed && apt_failed);
+            last = monitor.feed(true);
+        }
+        assert!(simultaneous >= 1, "bit r·c must trip both tests");
+        assert_eq!(monitor.alarms(), expected);
+        assert_eq!(expected, c + r); // bits/r RCT alarms + bits/c APT alarms
+                                     // The RCT failure is reported first when both fire.
+        assert!(matches!(last, Err(HealthFailure::RepetitionCount { .. })));
     }
 
     #[test]
