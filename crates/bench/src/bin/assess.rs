@@ -8,13 +8,19 @@
 //!
 //! ```text
 //! assess --in records.jsonl [--reads 1000] [--eval-day 8] [--csv PREFIX]
-//!        [--threads N] [--batch-lines N]
+//!        [--threads N] [--batch-lines N] [--metrics-out FILE] [--verbose]
 //! ```
+//!
+//! `--metrics-out` dumps the `pufobs` reader and accumulator counters as
+//! JSON after the run; `--verbose` prints a once-per-second progress
+//! heartbeat to stderr. Neither changes the assessment by a byte.
 
 use pufassess::fit;
 use pufassess::monthly::EvaluationProtocol;
 use pufassess::report::{self, Series};
 use pufassess::streaming::WindowAccumulator;
+use pufbench::metrics;
+use pufobs::Instruments;
 use puftestbed::store::{ParallelRecordReader, DEFAULT_BATCH_LINES};
 use std::fs::File;
 use std::io::BufReader;
@@ -26,6 +32,8 @@ fn main() {
     let mut protocol = EvaluationProtocol::default();
     let mut threads = pufbench::default_threads();
     let mut batch_lines = DEFAULT_BATCH_LINES;
+    let mut metrics_out: Option<String> = None;
+    let mut verbose = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -55,10 +63,12 @@ fn main() {
                     exit(2);
                 }
             }
+            "--metrics-out" => metrics_out = Some(value().clone()),
+            "--verbose" => verbose = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: assess --in FILE [--reads N] [--eval-day D] [--csv PREFIX] \
-                     [--threads N] [--batch-lines N]"
+                     [--threads N] [--batch-lines N] [--metrics-out FILE] [--verbose]"
                 );
                 return;
             }
@@ -80,8 +90,17 @@ fn main() {
 
     // Stream: reader thread → parser pool → accumulator. The file is never
     // held in memory; only per-(device, month) window state is.
-    let reader = ParallelRecordReader::spawn(BufReader::new(file), threads, batch_lines);
+    let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
+    let reader =
+        ParallelRecordReader::spawn_with(BufReader::new(file), threads, batch_lines, obs.as_ref());
     let mut accumulator = WindowAccumulator::new(protocol);
+    if let Some(ins) = &obs {
+        accumulator.attach_instruments(ins);
+    }
+    let heartbeat = verbose.then(|| {
+        let ins = obs.as_ref().expect("verbose implies instruments");
+        metrics::spawn_heartbeat(ins, metrics::assess_spec())
+    });
     let mut malformed = 0u64;
     for item in reader {
         match item {
@@ -98,11 +117,21 @@ fn main() {
             }
         }
     }
+    drop(heartbeat);
     eprintln!(
         "loaded {} records ({malformed} malformed lines, {} width-mismatched records skipped)",
         accumulator.records_seen(),
         accumulator.skipped_width_mismatch()
     );
+    if let (Some(path), Some(ins)) = (&metrics_out, &obs) {
+        match metrics::write_metrics(path, ins) {
+            Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
 
     let (assessment, windows) = accumulator.finish_with_windows().unwrap_or_else(|e| {
         eprintln!("assessment failed: {e}");

@@ -5,10 +5,16 @@
 //! ```text
 //! campaign --out records.jsonl [--boards 16] [--months 24] [--reads 1000]
 //!          [--read-bits 8192] [--seed 2017] [--nack-rate 0.0] [--threads N]
+//!          [--metrics-out FILE] [--verbose]
 //! ```
 //!
-//! Pair with the `assess` binary to analyse the file.
+//! Pair with the `assess` binary to analyse the file. `--metrics-out`
+//! dumps the `pufobs` campaign counters as JSON after the run;
+//! `--verbose` prints a once-per-second progress heartbeat (with ETA) to
+//! stderr. Neither changes the record file by a byte.
 
+use pufbench::{campaign_total_cycles, metrics};
+use pufobs::Instruments;
 use puftestbed::store::JsonLinesSink;
 use puftestbed::{Campaign, CampaignConfig};
 use std::fs::File;
@@ -20,6 +26,8 @@ fn main() {
     let mut out: Option<String> = None;
     let mut seed = 2017u64;
     let mut threads = pufbench::default_threads();
+    let mut metrics_out: Option<String> = None;
+    let mut verbose = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -48,10 +56,13 @@ fn main() {
                     exit(2);
                 }
             }
+            "--metrics-out" => metrics_out = Some(value().clone()),
+            "--verbose" => verbose = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign --out FILE [--boards N] [--months N] [--reads N] \
-                     [--read-bits N] [--seed N] [--nack-rate P] [--threads N]"
+                     [--read-bits N] [--seed N] [--nack-rate P] [--threads N] \
+                     [--metrics-out FILE] [--verbose]"
                 );
                 return;
             }
@@ -75,11 +86,21 @@ fn main() {
         exit(1);
     });
     let mut sink = JsonLinesSink::new(BufWriter::new(file));
+    let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
+    let total_cycles = campaign_total_cycles(&config);
     let mut campaign = Campaign::new(config, seed).threads(threads);
+    if let Some(ins) = &obs {
+        campaign = campaign.instruments(ins);
+    }
+    let heartbeat = verbose.then(|| {
+        let ins = obs.as_ref().expect("verbose implies instruments");
+        metrics::spawn_heartbeat(ins, metrics::campaign_spec(total_cycles))
+    });
     let summary = campaign.run(&mut sink).unwrap_or_else(|e| {
         eprintln!("campaign failed: {e}");
         exit(1);
     });
+    drop(heartbeat);
     if let Err(e) = sink.into_inner() {
         eprintln!("flush failed: {e}");
         exit(1);
@@ -88,6 +109,15 @@ fn main() {
         "done: {} records over {} windows ({} transport retries, {} dropped)",
         summary.records, summary.windows, summary.retries, summary.dropped
     );
+    if let (Some(path), Some(ins)) = (&metrics_out, &obs) {
+        match metrics::write_metrics(path, ins) {
+            Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {

@@ -2,15 +2,22 @@
 //!
 //! ```text
 //! repro [--scale smoke|small|paper] [--seed N] [--threads N] \
+//!       [--metrics-out FILE] [--verbose] \
 //!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel] [--all]
 //! ```
 //!
 //! Artifacts are printed to stdout; `--fig4` additionally writes
-//! `fig4_startup_pattern.pgm` to the working directory.
+//! `fig4_startup_pattern.pgm` to the working directory. `--metrics-out`
+//! dumps the `pufobs` pipeline snapshot (campaign and accumulator counters)
+//! as JSON after the run; `--verbose` prints a once-per-second progress
+//! heartbeat to stderr. Neither changes the printed artifacts by a byte.
 
 use pufassess::report::{self, Series};
 use pufassess::visualize;
-use pufbench::{default_threads, run_assessment_streaming, Scale};
+use pufbench::{
+    campaign_total_cycles, default_threads, metrics, run_assessment_streaming_with, Scale,
+};
+use pufobs::Instruments;
 use puftestbed::PowerWaveform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +30,8 @@ fn main() {
     let mut scale = Scale::Small;
     let mut seed = 2017;
     let mut threads = default_threads();
+    let mut metrics_out: Option<String> = None;
+    let mut verbose = false;
     let mut artifacts: BTreeSet<&'static str> = BTreeSet::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -50,6 +59,17 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    iter.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--metrics-out needs a file path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--verbose" => verbose = true,
             "--fig3" => {
                 artifacts.insert("fig3");
             }
@@ -96,14 +116,27 @@ fn main() {
         accel();
     }
 
+    // Instruments are created whenever anything will consume them; the
+    // pipeline output is identical either way.
+    let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
+
     if ["fig5", "fig6", "table1"]
         .iter()
         .any(|a| artifacts.contains(a))
     {
         eprintln!("running campaign at {scale:?} scale (seed {seed}, {threads} threads)…");
+        let heartbeat = if verbose {
+            obs.as_ref().map(|ins| {
+                let total = campaign_total_cycles(&scale.campaign_config());
+                metrics::spawn_heartbeat(ins, metrics::campaign_spec(total))
+            })
+        } else {
+            None
+        };
         // Streamed: records fold into the assessment as the campaign emits
         // them, so even paper scale never holds the dataset in memory.
-        let assessment = run_assessment_streaming(scale, seed, threads);
+        let assessment = run_assessment_streaming_with(scale, seed, threads, obs.as_ref());
+        drop(heartbeat);
         if artifacts.contains("fig5") {
             println!("\n=== Fig. 5: fractional HD / HW distributions at the start ===\n");
             println!("{}", report::fig5_text(assessment.initial_quality(), 48));
@@ -122,6 +155,16 @@ fn main() {
         if artifacts.contains("table1") {
             println!("\n=== Table I ===\n");
             println!("{}", assessment.table1().render());
+        }
+    }
+
+    if let (Some(path), Some(ins)) = (&metrics_out, &obs) {
+        match metrics::write_metrics(path, ins) {
+            Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

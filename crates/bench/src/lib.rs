@@ -11,6 +11,7 @@
 use pufassess::monthly::EvaluationProtocol;
 use pufassess::streaming::WindowAccumulator;
 use pufassess::Assessment;
+use pufobs::Instruments;
 use puftestbed::{Campaign, CampaignConfig, Dataset};
 
 /// How much of the paper's scale to run.
@@ -124,14 +125,93 @@ pub fn run_assessment_with(scale: Scale, seed: u64, threads: usize) -> Assessmen
 ///
 /// Panics if the assessment fails (cannot happen for the built-in scales).
 pub fn run_assessment_streaming(scale: Scale, seed: u64, threads: usize) -> Assessment {
+    run_assessment_streaming_with(scale, seed, threads, None)
+}
+
+/// [`run_assessment_streaming`] with an optional instrument registry wired
+/// through the whole pipe: the campaign maintains `campaign.*` metrics and
+/// the accumulator `assess.*` metrics. The assessment is identical with or
+/// without instruments.
+///
+/// # Panics
+///
+/// Panics if the assessment fails (cannot happen for the built-in scales).
+pub fn run_assessment_streaming_with(
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    instruments: Option<&Instruments>,
+) -> Assessment {
     let mut accumulator = WindowAccumulator::new(scale.protocol());
-    Campaign::new(scale.campaign_config(), seed)
-        .threads(threads)
+    let mut campaign = Campaign::new(scale.campaign_config(), seed).threads(threads);
+    if let Some(ins) = instruments {
+        accumulator.attach_instruments(ins);
+        campaign = campaign.instruments(ins);
+    }
+    campaign
         .run(&mut accumulator)
         .expect("accumulator sink cannot fail");
     accumulator
         .finish()
         .expect("built-in scales produce assessable datasets")
+}
+
+/// Total power cycles a campaign at `config` will execute — the progress
+/// denominator for ETA rendering.
+pub fn campaign_total_cycles(config: &CampaignConfig) -> u64 {
+    let windows = match config.plan {
+        puftestbed::MeasurementPlan::Windowed => u64::from(config.months) + 1,
+        puftestbed::MeasurementPlan::Continuous => 1,
+    };
+    windows * config.boards as u64 * u64::from(config.reads_per_window)
+}
+
+/// Shared `--metrics-out` / `--verbose` plumbing for the CLI binaries.
+pub mod metrics {
+    use pufobs::render::progress_line;
+    use pufobs::{Heartbeat, Instruments, ProgressSpec};
+    use std::time::Duration;
+
+    /// Writes the current snapshot of `ins` to `path` as one JSON document
+    /// (the `pufobs/1` schema) with a trailing newline.
+    pub fn write_metrics(path: &str, ins: &Instruments) -> std::io::Result<()> {
+        let mut json = ins.snapshot().to_json();
+        json.push('\n');
+        std::fs::write(path, json)
+    }
+
+    /// Spawns a once-per-second stderr heartbeat rendering `spec`. Keep the
+    /// returned handle alive while work runs; drop (or `stop`) it before
+    /// printing final output so lines do not interleave.
+    pub fn spawn_heartbeat(ins: &Instruments, spec: ProgressSpec) -> Heartbeat {
+        Heartbeat::spawn(ins.clone(), Duration::from_secs(1), move |snap| {
+            progress_line(snap, &spec)
+        })
+    }
+
+    /// The heartbeat spec for a campaign producer: power cycles against the
+    /// known total, with drop/retry columns.
+    pub fn campaign_spec(total_cycles: u64) -> ProgressSpec {
+        ProgressSpec::new(
+            "campaign",
+            "campaign.power_cycles",
+            "cycles",
+            Some(total_cycles),
+        )
+        .extra("records", "campaign.records")
+        .extra("dropped", "campaign.dropped")
+        .extra("retries", "campaign.retries")
+    }
+
+    /// The heartbeat spec for the assessment consumer: folded records (the
+    /// total is unknown when reading a file, so no ETA), with skip/malformed
+    /// columns.
+    pub fn assess_spec() -> ProgressSpec {
+        ProgressSpec::new("assess", "assess.records_seen", "rec", None)
+            .extra("folded", "assess.records_folded")
+            .extra("skipped", "assess.records_skipped")
+            .extra("malformed", "reader.malformed_lines")
+    }
 }
 
 #[cfg(test)]

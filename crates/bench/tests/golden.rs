@@ -1,0 +1,57 @@
+//! Golden-file regression tests: the fixed-seed smoke-scale pipeline must
+//! reproduce the committed Table I, aggregate CSV, and Fig. 6 summary
+//! *string-exactly*. Any drift in the cell model, campaign engine, merge
+//! order, statistics, or report formatting shows up as a diff here.
+//!
+//! When an intentional change moves the numbers, regenerate the files and
+//! review the diff like any other code change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p pufbench --test golden
+//! ```
+
+use pufassess::report::{self, Series};
+use pufbench::{run_assessment_streaming, Scale};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden file, or rewrites the
+/// file when `GOLDEN_UPDATE=1` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with GOLDEN_UPDATE=1 cargo test -p pufbench --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden copy; if the change is intentional, \
+         regenerate with GOLDEN_UPDATE=1 and review the diff",
+    );
+}
+
+#[test]
+fn fixed_seed_smoke_pipeline_matches_the_golden_files() {
+    // Two threads on purpose: the goldens also lock in that the sharded
+    // campaign and the deterministic merge stay thread-count invariant.
+    let assessment = run_assessment_streaming(Scale::Smoke, 2017, 2);
+
+    check_golden("table1.txt", &assessment.table1().render());
+    check_golden("aggregates.csv", &report::aggregate_csv(&assessment));
+    check_golden(
+        "fig6_wchd.txt",
+        &report::fig6_text(&assessment, Series::Wchd, 40),
+    );
+}

@@ -37,6 +37,7 @@ use crate::entropy::{noise_entropy, puf_entropy, stable_cell_ratio};
 use crate::metrics::InitialQuality;
 use crate::monthly::EvaluationProtocol;
 use pufbits::{BitMatrix, BitVec, OnesCounter};
+use pufobs::{Counter, Gauge, Instruments};
 use pufstats::Summary;
 use puftestbed::store::RecordSink;
 use puftestbed::{BoardId, Record};
@@ -107,8 +108,41 @@ pub struct WindowAccumulator {
     /// Earliest window month seen so far — the candidate "month zero".
     min_month: Option<(i32, u8)>,
     records_seen: u64,
+    records_folded: u64,
     skipped_width_mismatch: u64,
     out_of_order: Option<BoardId>,
+    obs: Option<AccumulatorInstruments>,
+}
+
+/// Pre-registered handles for the accumulator's instrument points. Every
+/// pushed record is exactly one of folded / skipped, so
+/// `assess.records_seen == assess.records_folded + assess.records_skipped`
+/// holds at every instant — the pipeline's conservation invariant.
+#[derive(Debug, Clone)]
+struct AccumulatorInstruments {
+    /// `assess.records_seen` — records pushed (eligible or not).
+    seen: Counter,
+    /// `assess.records_folded` — records folded into a window.
+    folded: Counter,
+    /// `assess.records_skipped` — records not folded (off the evaluation
+    /// day, past the window cap, or width-mismatched).
+    skipped: Counter,
+    /// `assess.windows_opened` — (device, month) windows opened.
+    windows_opened: Counter,
+    /// `assess.windows_open` — windows currently held in memory.
+    windows_open: Gauge,
+}
+
+impl AccumulatorInstruments {
+    fn new(ins: &Instruments) -> Self {
+        Self {
+            seen: ins.counter("assess.records_seen"),
+            folded: ins.counter("assess.records_folded"),
+            skipped: ins.counter("assess.records_skipped"),
+            windows_opened: ins.counter("assess.windows_opened"),
+            windows_open: ins.gauge("assess.windows_open"),
+        }
+    }
 }
 
 impl WindowAccumulator {
@@ -120,9 +154,21 @@ impl WindowAccumulator {
             devices: BTreeMap::new(),
             min_month: None,
             records_seen: 0,
+            records_folded: 0,
             skipped_width_mismatch: 0,
             out_of_order: None,
+            obs: None,
         }
+    }
+
+    /// Attaches an instrument registry: the accumulator then maintains the
+    /// `assess.*` counters (seen/folded/skipped records, windows opened)
+    /// and the `assess.windows_open` gauge. Folding itself is unchanged —
+    /// the produced [`Assessment`] is identical with or without
+    /// instruments. Clones of an instrumented accumulator share the same
+    /// underlying instruments.
+    pub fn attach_instruments(&mut self, ins: &Instruments) {
+        self.obs = Some(AccumulatorInstruments::new(ins));
     }
 
     /// The protocol in use.
@@ -133,6 +179,18 @@ impl WindowAccumulator {
     /// Records pushed so far (eligible or not).
     pub fn records_seen(&self) -> u64 {
         self.records_seen
+    }
+
+    /// Records folded into a window so far.
+    pub fn records_folded(&self) -> u64 {
+        self.records_folded
+    }
+
+    /// Records pushed but not folded (ineligible day, window already at
+    /// its read cap, or width mismatch). Always
+    /// `records_seen() - records_folded()`.
+    pub fn records_skipped(&self) -> u64 {
+        self.records_seen - self.records_folded
     }
 
     /// Eligible records dropped because their width differed from their
@@ -153,8 +211,12 @@ impl WindowAccumulator {
     /// like [`select_windows_counted`](crate::monthly::select_windows_counted).
     pub fn push(&mut self, record: &Record) {
         self.records_seen += 1;
+        if let Some(o) = &self.obs {
+            o.seen.inc();
+        }
         let dt = record.timestamp.datetime();
         if dt.date.day < self.protocol.eval_day {
+            self.count_skip();
             return;
         }
         let ym = (dt.date.year, dt.date.month);
@@ -166,10 +228,12 @@ impl WindowAccumulator {
         let device_reference = &self.devices[&record.device.0].reference;
         let window = self.windows.get_mut(&key).expect("window opened above");
         if window.counter.observations() >= self.protocol.reads_per_window {
+            self.count_skip();
             return;
         }
         if record.data.len() != window.counter.width() {
             self.skipped_width_mismatch += 1;
+            self.count_skip();
             return;
         }
         window
@@ -183,6 +247,16 @@ impl WindowAccumulator {
         if let Some(samples) = &mut window.samples {
             samples.wchd.push(wchd);
             samples.fhw.push(fhw);
+        }
+        self.records_folded += 1;
+        if let Some(o) = &self.obs {
+            o.folded.inc();
+        }
+    }
+
+    fn count_skip(&self) {
+        if let Some(o) = &self.obs {
+            o.skipped.inc();
         }
     }
 
@@ -236,6 +310,10 @@ impl WindowAccumulator {
                 samples: retain_samples.then(WindowSamples::default),
             },
         );
+        if let Some(o) = &self.obs {
+            o.windows_opened.inc();
+            o.windows_open.set(self.windows.len() as i64);
+        }
     }
 
     /// Finalizes the accumulation into an [`Assessment`].
@@ -472,6 +550,59 @@ mod tests {
         assert_eq!(accumulator.skipped_width_mismatch(), 1);
         let (_, snapshots) = accumulator.finish_with_windows().unwrap();
         assert_eq!(snapshots[0].counter.observations(), 2);
+    }
+
+    #[test]
+    fn instruments_satisfy_the_conservation_invariant() {
+        let ins = Instruments::new();
+        let config = CampaignConfig {
+            // Window cap below the campaign's reads: some records skip.
+            reads_per_window: 25,
+            ..campaign_config(2, 3)
+        };
+        let protocol = EvaluationProtocol {
+            reads_per_window: 10,
+            ..EvaluationProtocol::default()
+        };
+        let mut accumulator = WindowAccumulator::new(protocol);
+        accumulator.attach_instruments(&ins);
+        Campaign::new(config, 94).run(&mut accumulator).unwrap();
+        let snap = ins.snapshot();
+        assert_eq!(snap.counter("assess.records_seen"), 3 * 3 * 25);
+        assert_eq!(snap.counter("assess.records_folded"), 3 * 3 * 10);
+        assert_eq!(
+            snap.counter("assess.records_seen"),
+            snap.counter("assess.records_folded") + snap.counter("assess.records_skipped")
+        );
+        assert_eq!(snap.counter("assess.windows_opened"), 3 * 3);
+        assert_eq!(snap.gauge("assess.windows_open"), 3 * 3);
+        // The plain accessors agree with the instruments.
+        assert_eq!(
+            accumulator.records_seen(),
+            snap.counter("assess.records_seen")
+        );
+        assert_eq!(
+            accumulator.records_folded(),
+            snap.counter("assess.records_folded")
+        );
+        assert_eq!(
+            accumulator.records_skipped(),
+            snap.counter("assess.records_skipped")
+        );
+    }
+
+    #[test]
+    fn instrumented_accumulator_produces_the_same_assessment() {
+        let dataset = Campaign::new(campaign_config(2, 3), 95).run_in_memory();
+        let mut plain = WindowAccumulator::new(protocol());
+        let ins = Instruments::new();
+        let mut instrumented = WindowAccumulator::new(protocol());
+        instrumented.attach_instruments(&ins);
+        for r in dataset.records() {
+            plain.push(r);
+            instrumented.push(r);
+        }
+        assert_eq!(plain.finish().unwrap(), instrumented.finish().unwrap());
     }
 
     #[test]

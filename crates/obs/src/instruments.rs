@@ -1,0 +1,396 @@
+//! The instrument registry and its three primitives.
+//!
+//! Handles returned by [`Instruments`] are `Arc`-backed: cloning is one
+//! refcount bump, updates are single relaxed atomic operations, and every
+//! clone of the same name observes the same underlying cell. The registry
+//! lock is taken only at registration and snapshot time — never on the
+//! update path.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+///
+/// # Examples
+///
+/// ```
+/// let c = pufobs::Counter::new();
+/// c.inc();
+/// c.add(9);
+/// assert_eq!(c.get(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, open-window counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A free-standing gauge (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`sub`](Self::sub)).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, up to bucket 64 for values with the
+/// top bit set.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log2-bucketed histogram of `u64` samples — typically latencies in
+/// nanoseconds via [`record_duration`](Self::record_duration).
+///
+/// Exact count, sum, min, and max are tracked alongside the buckets, so
+/// means are exact and only quantiles are bucket-resolution.
+///
+/// # Examples
+///
+/// ```
+/// let h = pufobs::Histogram::new();
+/// h.record(3);
+/// h.record(5);
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 2);
+/// assert_eq!(snap.sum, 8);
+/// assert_eq!(snap.buckets, vec![(2, 1), (3, 1)]); // [2,4) and [4,8)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A free-standing, empty histogram.
+    pub fn new() -> Self {
+        Self(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// The bucket index for `value`.
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let core = &*self.0;
+        core.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    ///
+    /// Fields are read individually (relaxed), so a snapshot taken while
+    /// writers are active may be off by in-flight samples — fine for
+    /// observability, not for accounting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = &*self.0;
+        let count = core.count.load(Ordering::Relaxed);
+        let min = core.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: core.max.load(Ordering::Relaxed),
+            buckets: core
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((u32::try_from(i).expect("bucket index < 65"), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug)]
+struct Registry {
+    clock: Arc<dyn Clock>,
+    started: Duration,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A named-instrument registry plus its injected [`Clock`].
+///
+/// Cloning an `Instruments` clones the handle, not the registry: all
+/// clones feed the same snapshot. Requesting an already-registered name
+/// returns a handle to the existing instrument.
+#[derive(Debug, Clone)]
+pub struct Instruments {
+    inner: Arc<Registry>,
+}
+
+impl Instruments {
+    /// A registry on the production [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A registry on an injected clock (e.g. [`ManualClock`](crate::ManualClock)).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        let started = clock.now();
+        Self {
+            inner: Arc::new(Registry {
+                clock,
+                started,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The clock's current reading (for latency measurement start points).
+    pub fn now(&self) -> Duration {
+        self.inner.clock.now()
+    }
+
+    /// Time elapsed since the registry was created.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.clock.now().saturating_sub(self.inner.started)
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("counter registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("gauge registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Captures every registered instrument at this moment.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            elapsed: self.elapsed(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl Default for Instruments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn counters_share_by_name() {
+        let ins = Instruments::new();
+        let a = ins.counter("x");
+        let b = ins.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(ins.counter("x").get(), 4);
+        assert_eq!(ins.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.sub(12);
+        g.add(1);
+        assert_eq!(g.get(), -1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_aggregates() {
+        let h = Histogram::new();
+        for v in [0, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1011);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (3, 2), (10, 1)]);
+        assert!((s.mean() - 202.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reflects_manual_clock() {
+        let clock = ManualClock::new();
+        clock.advance(Duration::from_secs(5));
+        let ins = Instruments::with_clock(Arc::new(clock.clone()));
+        ins.counter("records").add(100);
+        clock.advance(Duration::from_secs(10));
+        let snap = ins.snapshot();
+        assert_eq!(snap.elapsed, Duration::from_secs(10));
+        assert_eq!(snap.rate("records"), 10.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let ins = Instruments::new();
+        let c = ins.counter("n");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,49 @@
+//! Zero-dependency instrumentation for the campaign/assessment pipeline.
+//!
+//! The measurement campaign and the streaming assessment move hundreds of
+//! millions of records; this crate makes those pipelines observable without
+//! perturbing them. Everything is built from three primitives —
+//! [`Counter`], [`Gauge`], and [`Histogram`] (log2-bucketed latency
+//! histogram) — registered by name in an [`Instruments`] registry whose
+//! handles are cheap to clone (one `Arc` each) and safe to update from any
+//! worker thread (relaxed atomics; no locks on the hot path).
+//!
+//! Time is injected: every [`Instruments`] owns a [`Clock`], so rates and
+//! ETAs are computed against a [`MonotonicClock`] in production and a
+//! [`ManualClock`] in tests, which makes the derived metrics themselves
+//! deterministic and testable.
+//!
+//! A [`Snapshot`] captures the registry at a point in time, serializes to
+//! the workspace's hand-rolled JSON dialect ([`Snapshot::to_json`]), and
+//! renders a human progress line ([`render::progress_line`]) — records/s,
+//! boards done, ETA, skipped/fault counts. [`Heartbeat`] prints that line
+//! to stderr on a fixed period while a pipeline runs.
+//!
+//! Instrumentation never touches the instrumented computation's RNG or
+//! data: wiring an [`Instruments`] into a campaign changes *nothing* about
+//! the records it emits (enforced by `crates/bench/tests/metrics.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use pufobs::Instruments;
+//!
+//! let ins = Instruments::new();
+//! let records = ins.counter("campaign.records");
+//! records.add(120);
+//! let snap = ins.snapshot();
+//! assert_eq!(snap.counter("campaign.records"), 120);
+//! assert!(snap.to_json().contains("\"campaign.records\":120"));
+//! ```
+
+pub mod clock;
+pub mod heartbeat;
+pub mod instruments;
+pub mod render;
+pub mod snapshot;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use heartbeat::Heartbeat;
+pub use instruments::{Counter, Gauge, Histogram, Instruments};
+pub use render::ProgressSpec;
+pub use snapshot::{HistogramSnapshot, Snapshot};

@@ -1,0 +1,187 @@
+//! Human rendering of snapshots: the one-line progress/heartbeat format.
+//!
+//! ```text
+//! [campaign] 34 560 cycles · 12.3k/s · windows 5/25 · eta 42s · dropped 0 · retries 3
+//! ```
+
+use crate::snapshot::Snapshot;
+use std::time::Duration;
+
+/// Formats a count with a metric suffix: `987`, `12.3k`, `4.56M`, `1.20G`.
+pub fn human_count(n: u64) -> String {
+    let n = n as f64;
+    if n < 1_000.0 {
+        format!("{n:.0}")
+    } else if n < 1_000_000.0 {
+        format!("{:.1}k", n / 1_000.0)
+    } else if n < 1_000_000_000.0 {
+        format!("{:.2}M", n / 1_000_000.0)
+    } else {
+        format!("{:.2}G", n / 1_000_000_000.0)
+    }
+}
+
+/// Formats a per-second rate with a metric suffix.
+pub fn human_rate(r: f64) -> String {
+    if !r.is_finite() || r < 0.0 {
+        return "0/s".to_string();
+    }
+    if r < 1_000.0 {
+        format!("{r:.1}/s")
+    } else {
+        format!("{}/s", human_count(r.round() as u64))
+    }
+}
+
+/// Formats a duration as `42s`, `3m07s`, or `2h15m`.
+pub fn human_duration(d: Duration) -> String {
+    let secs = d.as_secs();
+    if secs < 60 {
+        format!("{secs}s")
+    } else if secs < 3600 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    }
+}
+
+/// What a progress line reports: the work counter that drives rate/ETA and
+/// any extra counters to append.
+#[derive(Debug, Clone)]
+pub struct ProgressSpec {
+    /// Prefix tag, e.g. `campaign`.
+    pub label: String,
+    /// Name of the counter that measures work done.
+    pub work: String,
+    /// Unit of that counter, e.g. `rec` or `cycles`.
+    pub unit: String,
+    /// Expected final value of the work counter; enables `pct` and `eta`.
+    pub total: Option<u64>,
+    /// Extra counters rendered as `label N`, in order.
+    pub extras: Vec<(String, String)>,
+}
+
+impl ProgressSpec {
+    /// A spec with no extras.
+    pub fn new(label: &str, work: &str, unit: &str, total: Option<u64>) -> Self {
+        Self {
+            label: label.to_string(),
+            work: work.to_string(),
+            unit: unit.to_string(),
+            total,
+            extras: Vec::new(),
+        }
+    }
+
+    /// Appends an extra counter column.
+    pub fn extra(mut self, label: &str, counter: &str) -> Self {
+        self.extras.push((label.to_string(), counter.to_string()));
+        self
+    }
+}
+
+/// Renders the one-line human progress summary of `snap` per `spec`.
+///
+/// # Examples
+///
+/// ```
+/// use pufobs::render::progress_line;
+/// use pufobs::{Instruments, ManualClock, ProgressSpec};
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let clock = ManualClock::new();
+/// let ins = Instruments::with_clock(Arc::new(clock.clone()));
+/// ins.counter("work").add(500);
+/// clock.advance(Duration::from_secs(10));
+/// let line = progress_line(&ins.snapshot(), &ProgressSpec::new("demo", "work", "rec", Some(1000)));
+/// assert_eq!(line, "[demo] 500 rec (50%) · 50.0/s · eta 10s");
+/// ```
+pub fn progress_line(snap: &Snapshot, spec: &ProgressSpec) -> String {
+    let done = snap.counter(&spec.work);
+    let rate = snap.rate(&spec.work);
+    let mut line = format!("[{}] {} {}", spec.label, human_count(done), spec.unit);
+    if let Some(pct) = spec.total.and_then(|total| (done * 100).checked_div(total)) {
+        line.push_str(&format!(" ({pct}%)"));
+    }
+    line.push_str(&format!(" · {}", human_rate(rate)));
+    if let Some(total) = spec.total {
+        if rate > 0.0 && done < total {
+            let eta = Duration::from_secs_f64((total - done) as f64 / rate);
+            line.push_str(&format!(" · eta {}", human_duration(eta)));
+        }
+    }
+    for (label, counter) in &spec.extras {
+        line.push_str(&format!(
+            " · {label} {}",
+            human_count(snap.counter(counter))
+        ));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instruments, ManualClock};
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_scale_through_suffixes() {
+        assert_eq!(human_count(0), "0");
+        assert_eq!(human_count(999), "999");
+        assert_eq!(human_count(12_300), "12.3k");
+        assert_eq!(human_count(4_560_000), "4.56M");
+        assert_eq!(human_count(1_200_000_000), "1.20G");
+    }
+
+    #[test]
+    fn rates_and_durations_render() {
+        assert_eq!(human_rate(0.0), "0.0/s");
+        assert_eq!(human_rate(12_300.0), "12.3k/s");
+        assert_eq!(human_rate(f64::NAN), "0/s");
+        assert_eq!(human_duration(Duration::from_secs(42)), "42s");
+        assert_eq!(human_duration(Duration::from_secs(187)), "3m07s");
+        assert_eq!(human_duration(Duration::from_secs(8100)), "2h15m");
+    }
+
+    #[test]
+    fn progress_line_is_deterministic_on_a_manual_clock() {
+        let clock = ManualClock::new();
+        let ins = Instruments::with_clock(Arc::new(clock.clone()));
+        ins.counter("campaign.power_cycles").add(1_000);
+        ins.counter("campaign.dropped").add(2);
+        clock.advance(Duration::from_secs(4));
+        let spec = ProgressSpec::new("campaign", "campaign.power_cycles", "cycles", Some(5_000))
+            .extra("dropped", "campaign.dropped");
+        assert_eq!(
+            progress_line(&ins.snapshot(), &spec),
+            "[campaign] 1.0k cycles (20%) · 250.0/s · eta 16s · dropped 2"
+        );
+    }
+
+    #[test]
+    fn finished_work_drops_the_eta() {
+        let clock = ManualClock::new();
+        let ins = Instruments::with_clock(Arc::new(clock.clone()));
+        ins.counter("w").add(100);
+        clock.advance(Duration::from_secs(1));
+        let line = progress_line(
+            &ins.snapshot(),
+            &ProgressSpec::new("x", "w", "rec", Some(100)),
+        );
+        assert!(!line.contains("eta"), "{line}");
+        assert!(line.contains("(100%)"), "{line}");
+    }
+
+    #[test]
+    fn zero_elapsed_never_divides_by_zero() {
+        let ins = Instruments::with_clock(Arc::new(ManualClock::new()));
+        ins.counter("w").add(5);
+        let line = progress_line(
+            &ins.snapshot(),
+            &ProgressSpec::new("x", "w", "rec", Some(10)),
+        );
+        assert!(line.contains("0.0/s"), "{line}");
+    }
+}

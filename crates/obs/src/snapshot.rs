@@ -1,0 +1,230 @@
+//! Point-in-time captures of an [`Instruments`](crate::Instruments)
+//! registry, and their JSON serialization.
+//!
+//! The JSON is the workspace's hand-rolled dialect (compact separators, no
+//! external dependency, integers emitted exactly) so `--metrics-out` files
+//! parse with `puftestbed::store::json::parse` and with any standard JSON
+//! parser. Schema:
+//!
+//! ```json
+//! {
+//!   "schema": "pufobs/1",
+//!   "elapsed_s": 12.25,
+//!   "counters": {"campaign.records": 120},
+//!   "gauges": {"reader.queue_depth": 3},
+//!   "histograms": {
+//!     "campaign.shard_window_ns": {
+//!       "count": 2, "sum": 10, "min": 3, "max": 7,
+//!       "buckets": [[2, 1], [3, 1]]
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! Keys are sorted (`BTreeMap` iteration), so serialization is
+//! deterministic for a given registry state.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A histogram's captured state. `buckets` lists only non-empty log2
+/// buckets as `(index, count)`; bucket `i ≥ 1` spans `[2^(i-1), 2^i)` and
+/// bucket 0 holds zeros.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty `(bucket index, sample count)` pairs, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The exact mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Every registered instrument's value at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Time since the registry was created.
+    pub elapsed: Duration,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The counter's value, 0 if it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge's value, 0 if it was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The histogram's state, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// The counter's average rate per second over `elapsed` (0 when no
+    /// time has passed).
+    pub fn rate(&self, name: &str) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.counter(name) as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes to one line of the workspace's hand-rolled JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"schema\":\"pufobs/1\",\"elapsed_s\":");
+        write_f64(&mut out, self.elapsed.as_secs_f64());
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, k);
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, k);
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, k);
+            let _ = write!(
+                out,
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            );
+            for (j, (bucket, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{bucket},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Writes `"key":` with JSON string escaping.
+fn write_key(out: &mut String, key: &str) {
+    out.push('"');
+    for c in key.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push_str("\":");
+}
+
+/// Writes a finite `f64` in a JSON-valid form (never `NaN`/`inf`).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instruments;
+
+    #[test]
+    fn json_shape_is_exact() {
+        let snap = Snapshot {
+            elapsed: Duration::from_millis(1500),
+            counters: [("a.b".to_string(), 7u64)].into_iter().collect(),
+            gauges: [("g".to_string(), -2i64)].into_iter().collect(),
+            histograms: [(
+                "h".to_string(),
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 8,
+                    min: 3,
+                    max: 5,
+                    buckets: vec![(2, 1), (3, 1)],
+                },
+            )]
+            .into_iter()
+            .collect(),
+        };
+        assert_eq!(
+            snap.to_json(),
+            "{\"schema\":\"pufobs/1\",\"elapsed_s\":1.5,\
+             \"counters\":{\"a.b\":7},\
+             \"gauges\":{\"g\":-2},\
+             \"histograms\":{\"h\":{\"count\":2,\"sum\":8,\"min\":3,\"max\":5,\
+             \"buckets\":[[2,1],[3,1]]}}}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let snap = Instruments::new().snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"schema\":\"pufobs/1\""));
+        assert!(json.contains("\"counters\":{}"));
+        assert!(json.ends_with("\"histograms\":{}}"));
+    }
+
+    #[test]
+    fn keys_are_escaped() {
+        let mut out = String::new();
+        write_key(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\":");
+    }
+
+    #[test]
+    fn missing_instruments_read_as_zero() {
+        let snap = Instruments::new().snapshot();
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("absent"), 0);
+        assert!(snap.histogram("absent").is_none());
+        assert_eq!(snap.rate("absent"), 0.0);
+    }
+}

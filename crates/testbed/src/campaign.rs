@@ -21,6 +21,7 @@ use crate::store::{MemorySink, Record, RecordSink};
 use crate::time::{CalendarDate, Timestamp};
 use crate::waveform::PowerWaveform;
 use pufbits::BitVec;
+use pufobs::{Counter, Histogram, Instruments};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sramcell::{Environment, PowerUpKernel, TechnologyProfile};
@@ -145,6 +146,54 @@ pub struct Campaign {
     config: CampaignConfig,
     shards: Vec<BoardShard>,
     threads: usize,
+    obs: Option<CampaignInstruments>,
+}
+
+/// Pre-registered handles for the campaign's instrument points. All
+/// updates happen at shard-window granularity (never per power cycle), so
+/// instrumentation costs a handful of atomic adds per board per window —
+/// invisible next to the window's thousands of kernel evaluations — and
+/// the record stream itself is untouched.
+#[derive(Debug, Clone)]
+struct CampaignInstruments {
+    ins: Instruments,
+    /// `campaign.records` — records delivered to the sink.
+    records: Counter,
+    /// `campaign.dropped` — read-outs dropped after exhausting retries.
+    dropped: Counter,
+    /// `campaign.retries` — transport retries performed.
+    retries: Counter,
+    /// `campaign.windows` — evaluation windows completed.
+    windows: Counter,
+    /// `campaign.power_cycles` — power cycles executed across all boards.
+    power_cycles: Counter,
+    /// `campaign.i2c_faults` — failed I2C transfers (retried or dropped).
+    i2c_faults: Counter,
+    /// `campaign.shard_windows` — per-board window executions completed.
+    shard_windows: Counter,
+    /// `campaign.shard_window_ns` — wall time of one board's window.
+    shard_window_ns: Histogram,
+    /// `campaign.boardNN.power_cycles`, indexed by board id.
+    board_cycles: Vec<Counter>,
+}
+
+impl CampaignInstruments {
+    fn new(ins: &Instruments, boards: usize) -> Self {
+        Self {
+            ins: ins.clone(),
+            records: ins.counter("campaign.records"),
+            dropped: ins.counter("campaign.dropped"),
+            retries: ins.counter("campaign.retries"),
+            windows: ins.counter("campaign.windows"),
+            power_cycles: ins.counter("campaign.power_cycles"),
+            i2c_faults: ins.counter("campaign.i2c_faults"),
+            shard_windows: ins.counter("campaign.shard_windows"),
+            shard_window_ns: ins.histogram("campaign.shard_window_ns"),
+            board_cycles: (0..boards)
+                .map(|i| ins.counter(&format!("campaign.board{i:02}.power_cycles")))
+                .collect(),
+        }
+    }
 }
 
 /// Derives the seed of one board's RNG stream from the campaign seed.
@@ -281,6 +330,7 @@ impl Campaign {
             config,
             shards,
             threads: 1,
+            obs: None,
         }
     }
 
@@ -289,6 +339,19 @@ impl Campaign {
     /// every value — parallelism only changes wall-clock time.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches an instrument registry. The campaign then maintains
+    /// `campaign.*` counters (records, power cycles — total and per board,
+    /// drops, retries, I2C faults, windows) and the
+    /// `campaign.shard_window_ns` per-board window-timing histogram.
+    ///
+    /// Instrumentation reads the clock and bumps atomics only; it touches
+    /// no RNG stream, so the record output is byte-identical with or
+    /// without it.
+    pub fn instruments(mut self, ins: &Instruments) -> Self {
+        self.obs = Some(CampaignInstruments::new(ins, self.config.boards));
         self
     }
 
@@ -386,15 +449,33 @@ impl Campaign {
         };
         let reads = self.config.reads_per_window;
         let retry_budget = self.config.i2c_retries;
+        let obs = self.obs.as_ref();
         let worker = |shard: &mut BoardShard| {
-            shard.run_window(
+            let started = obs.map(|o| o.ins.now());
+            let out = shard.run_window(
                 wall_years,
                 substeps,
                 epoch,
                 window_start,
                 reads,
                 retry_budget,
-            )
+            );
+            if let Some(o) = obs {
+                if let Some(t0) = started {
+                    o.shard_window_ns
+                        .record_duration(o.ins.now().saturating_sub(t0));
+                }
+                let cycles = u64::from(reads);
+                o.power_cycles.add(cycles);
+                if let Some(board) = o.board_cycles.get(usize::from(shard.board.id().0)) {
+                    board.add(cycles);
+                }
+                o.dropped.add(out.dropped);
+                o.retries.add(out.retries);
+                o.i2c_faults.add(out.dropped + out.retries);
+                o.shard_windows.inc();
+            }
+            out
         };
 
         let threads = self.threads.min(self.shards.len()).max(1);
@@ -433,6 +514,10 @@ impl Campaign {
         for record in &records {
             sink.record(record)?;
             summary.records += 1;
+        }
+        if let Some(o) = &self.obs {
+            o.records.add(records.len() as u64);
+            o.windows.inc();
         }
         Ok(())
     }
@@ -693,6 +778,51 @@ mod tests {
             wchd_growth(hot_cfg) > wchd_growth(nominal_cfg),
             "elevated environment must accelerate degradation"
         );
+    }
+
+    #[test]
+    fn instruments_count_the_campaign_exactly() {
+        let ins = Instruments::new();
+        let config = CampaignConfig {
+            i2c_nack_rate: 0.2,
+            i2c_retries: 2,
+            ..tiny_config()
+        };
+        let dataset = Campaign::new(config, 11)
+            .threads(2)
+            .instruments(&ins)
+            .run_in_memory();
+        let summary = dataset.summary();
+        let snap = ins.snapshot();
+        assert_eq!(snap.counter("campaign.records"), summary.records);
+        assert_eq!(snap.counter("campaign.dropped"), summary.dropped);
+        assert_eq!(snap.counter("campaign.retries"), summary.retries);
+        assert_eq!(snap.counter("campaign.windows"), u64::from(summary.windows));
+        assert_eq!(
+            snap.counter("campaign.i2c_faults"),
+            summary.dropped + summary.retries
+        );
+        // Every board ran every window; per-board cycles sum to the total.
+        let total = snap.counter("campaign.power_cycles");
+        assert_eq!(total, 3 * 4 * 10);
+        let per_board: u64 = (0..4)
+            .map(|i| snap.counter(&format!("campaign.board{i:02}.power_cycles")))
+            .sum();
+        assert_eq!(per_board, total);
+        // One timing sample per (board, window).
+        let hist = snap.histogram("campaign.shard_window_ns").unwrap();
+        assert_eq!(hist.count, 3 * 4);
+    }
+
+    #[test]
+    fn instrumented_run_is_record_identical() {
+        let plain = Campaign::new(tiny_config(), 12).run_in_memory();
+        let ins = Instruments::new();
+        let instrumented = Campaign::new(tiny_config(), 12)
+            .instruments(&ins)
+            .run_in_memory();
+        assert_eq!(plain.records(), instrumented.records());
+        assert_eq!(plain.summary(), instrumented.summary());
     }
 
     #[test]

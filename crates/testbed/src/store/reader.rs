@@ -19,6 +19,7 @@
 //! data.
 
 use super::{ParseRecordError, Record};
+use pufobs::{Counter, Gauge, Histogram, Instruments};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::BufRead;
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -27,6 +28,43 @@ use std::thread::JoinHandle;
 
 /// Default number of lines per parse batch.
 pub const DEFAULT_BATCH_LINES: usize = 1024;
+
+/// Pre-registered handles for the reader pipeline's instrument points.
+/// Counters update once per batch (not per line), so instrumentation adds
+/// a few atomic operations per `batch_lines` parsed records.
+#[derive(Debug, Clone)]
+struct ReaderInstruments {
+    ins: Instruments,
+    /// `reader.lines_read` — lines pulled off the input stream.
+    lines: Counter,
+    /// `reader.batches` — line batches dispatched to the worker pool.
+    batches: Counter,
+    /// `reader.records_parsed` — records parsed successfully.
+    records: Counter,
+    /// `reader.malformed_lines` — lines that failed to parse.
+    malformed: Counter,
+    /// `reader.io_errors` — mid-stream I/O failures delivered in-band.
+    io_errors: Counter,
+    /// `reader.queue_depth` — batches queued between reader and workers.
+    queue_depth: Gauge,
+    /// `reader.batch_parse_ns` — wall time to parse one batch.
+    batch_parse_ns: Histogram,
+}
+
+impl ReaderInstruments {
+    fn new(ins: &Instruments) -> Self {
+        Self {
+            ins: ins.clone(),
+            lines: ins.counter("reader.lines_read"),
+            batches: ins.counter("reader.batches"),
+            records: ins.counter("reader.records_parsed"),
+            malformed: ins.counter("reader.malformed_lines"),
+            io_errors: ins.counter("reader.io_errors"),
+            queue_depth: ins.gauge("reader.queue_depth"),
+            batch_parse_ns: ins.histogram("reader.batch_parse_ns"),
+        }
+    }
+}
 
 type ResultBatch = (usize, Vec<Result<Record, ParseRecordError>>);
 
@@ -79,6 +117,22 @@ impl ParallelRecordReader {
         threads: usize,
         batch_lines: usize,
     ) -> Self {
+        Self::spawn_with(reader, threads, batch_lines, None)
+    }
+
+    /// [`spawn`](Self::spawn) with an optional instrument registry: when
+    /// given, the pipeline maintains `reader.*` counters (lines read,
+    /// batches, parsed/malformed/I/O-failed counts), the
+    /// `reader.queue_depth` gauge, and the `reader.batch_parse_ns`
+    /// per-batch parse-timing histogram. The yielded record sequence is
+    /// identical either way.
+    pub fn spawn_with<R: BufRead + Send + 'static>(
+        reader: R,
+        threads: usize,
+        batch_lines: usize,
+        instruments: Option<&Instruments>,
+    ) -> Self {
+        let obs = instruments.map(ReaderInstruments::new);
         let threads = threads.max(1);
         let batch_lines = batch_lines.max(1);
         let (work_tx, work_rx) = mpsc::sync_channel::<(usize, Vec<String>)>(threads);
@@ -89,12 +143,13 @@ impl ParallelRecordReader {
         for _ in 0..threads {
             let work_rx = Arc::clone(&work_rx);
             let result_tx = result_tx.clone();
+            let obs = obs.clone();
             handles.push(std::thread::spawn(move || {
-                parse_worker(&work_rx, &result_tx)
+                parse_worker(&work_rx, &result_tx, obs.as_ref())
             }));
         }
         handles.push(std::thread::spawn(move || {
-            read_batches(reader, batch_lines, &work_tx, &result_tx);
+            read_batches(reader, batch_lines, &work_tx, &result_tx, obs.as_ref());
         }));
 
         Self {
@@ -173,7 +228,16 @@ fn read_batches<R: BufRead>(
     batch_lines: usize,
     work_tx: &SyncSender<(usize, Vec<String>)>,
     result_tx: &SyncSender<ResultBatch>,
+    obs: Option<&ReaderInstruments>,
 ) {
+    let dispatch = |batch: Vec<String>, idx: usize| {
+        if let Some(o) = obs {
+            o.lines.add(batch.len() as u64);
+            o.batches.inc();
+            o.queue_depth.add(1);
+        }
+        work_tx.send((idx, batch)).is_ok()
+    };
     let mut idx = 0usize;
     let mut batch: Vec<String> = Vec::with_capacity(batch_lines);
     for line in reader.lines() {
@@ -182,7 +246,7 @@ fn read_batches<R: BufRead>(
                 batch.push(l);
                 if batch.len() == batch_lines {
                     let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_lines));
-                    if work_tx.send((idx, full)).is_err() {
+                    if !dispatch(full, idx) {
                         return; // consumer dropped
                     }
                     idx += 1;
@@ -192,10 +256,13 @@ fn read_batches<R: BufRead>(
                 // Flush what parsed cleanly, then the error, then stop: the
                 // rest of the stream is unreadable.
                 if !batch.is_empty() {
-                    if work_tx.send((idx, std::mem::take(&mut batch))).is_err() {
+                    if !dispatch(std::mem::take(&mut batch), idx) {
                         return;
                     }
                     idx += 1;
+                }
+                if let Some(o) = obs {
+                    o.io_errors.inc();
                 }
                 let _ = result_tx.send((idx, vec![Err(ParseRecordError::from_io(&e))]));
                 return;
@@ -203,7 +270,7 @@ fn read_batches<R: BufRead>(
         }
     }
     if !batch.is_empty() {
-        let _ = work_tx.send((idx, batch));
+        let _ = dispatch(batch, idx);
     }
 }
 
@@ -212,6 +279,7 @@ fn read_batches<R: BufRead>(
 fn parse_worker(
     work_rx: &Mutex<Receiver<(usize, Vec<String>)>>,
     result_tx: &SyncSender<ResultBatch>,
+    obs: Option<&ReaderInstruments>,
 ) {
     loop {
         let received = {
@@ -221,11 +289,22 @@ fn parse_worker(
         let Ok((idx, lines)) = received else {
             return; // reader finished and channel drained
         };
+        let started = obs.map(|o| {
+            o.queue_depth.sub(1);
+            o.ins.now()
+        });
         let parsed: Vec<Result<Record, ParseRecordError>> = lines
             .iter()
             .filter(|l| !l.trim().is_empty())
             .map(|l| Record::parse_json_line(l))
             .collect();
+        if let (Some(o), Some(t0)) = (obs, started) {
+            o.batch_parse_ns
+                .record_duration(o.ins.now().saturating_sub(t0));
+            let malformed = parsed.iter().filter(|r| r.is_err()).count() as u64;
+            o.records.add(parsed.len() as u64 - malformed);
+            o.malformed.add(malformed);
+        }
         if result_tx.send((idx, parsed)).is_err() {
             return; // consumer dropped
         }
@@ -330,6 +409,41 @@ mod tests {
         fn consume(&mut self, amt: usize) {
             self.data.consume(amt);
         }
+    }
+
+    #[test]
+    fn instruments_account_for_every_line() {
+        let ins = Instruments::new();
+        let mut bytes = jsonl(20);
+        bytes.extend_from_slice(b"not json\n");
+        bytes.extend_from_slice(&jsonl(5));
+        let items: Vec<_> =
+            ParallelRecordReader::spawn_with(Cursor::new(bytes), 2, 4, Some(&ins)).collect();
+        assert_eq!(items.len(), 26);
+        let snap = ins.snapshot();
+        assert_eq!(snap.counter("reader.lines_read"), 26);
+        assert_eq!(snap.counter("reader.records_parsed"), 25);
+        assert_eq!(snap.counter("reader.malformed_lines"), 1);
+        assert_eq!(snap.counter("reader.io_errors"), 0);
+        // 26 lines in batches of 4 → 7 batches, all timed and drained.
+        assert_eq!(snap.counter("reader.batches"), 7);
+        assert_eq!(snap.gauge("reader.queue_depth"), 0);
+        assert_eq!(snap.histogram("reader.batch_parse_ns").unwrap().count, 7);
+        // Conservation: every line is parsed or malformed.
+        assert_eq!(
+            snap.counter("reader.lines_read"),
+            snap.counter("reader.records_parsed") + snap.counter("reader.malformed_lines")
+        );
+    }
+
+    #[test]
+    fn instrumented_reader_yields_the_same_records() {
+        let bytes = jsonl(57);
+        let plain: Vec<_> = ParallelRecordReader::spawn(Cursor::new(bytes.clone()), 3, 8).collect();
+        let ins = Instruments::new();
+        let instrumented: Vec<_> =
+            ParallelRecordReader::spawn_with(Cursor::new(bytes), 3, 8, Some(&ins)).collect();
+        assert_eq!(plain, instrumented);
     }
 
     #[test]

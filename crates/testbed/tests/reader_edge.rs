@@ -1,0 +1,154 @@
+//! Edge cases of the parallel record reader: degenerate batch sizes,
+//! files without a trailing newline, CRLF line endings, and mid-file I/O
+//! failures — all must preserve in-order delivery and exact positions.
+
+use pufbits::BitVec;
+use puftestbed::store::{
+    JsonLinesSink, ParallelRecordReader, ParseRecordError, Record, RecordSink,
+};
+use puftestbed::{BoardId, Timestamp};
+use std::io::{BufRead, Cursor, Read};
+
+fn records(n: u64) -> Vec<Record> {
+    (0..n)
+        .map(|seq| {
+            Record::new(
+                BoardId((seq % 3) as u8),
+                seq,
+                Timestamp(seq as i64),
+                BitVec::from_bytes(&[seq as u8, 0x5A]),
+            )
+        })
+        .collect()
+}
+
+fn jsonl(n: u64) -> Vec<u8> {
+    let mut sink = JsonLinesSink::new(Vec::new());
+    for r in records(n) {
+        sink.record(&r).unwrap();
+    }
+    sink.into_inner().unwrap()
+}
+
+#[test]
+fn batch_size_one_preserves_order() {
+    let items: Vec<_> = ParallelRecordReader::spawn(Cursor::new(jsonl(40)), 4, 1)
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(items, records(40));
+}
+
+#[test]
+fn zero_batch_size_is_clamped_not_fatal() {
+    let items: Vec<_> = ParallelRecordReader::spawn(Cursor::new(jsonl(10)), 0, 0)
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(items, records(10));
+}
+
+#[test]
+fn missing_trailing_newline_still_yields_the_last_record() {
+    let mut bytes = jsonl(13);
+    assert_eq!(bytes.pop(), Some(b'\n'));
+    let items: Vec<_> = ParallelRecordReader::spawn(Cursor::new(bytes), 3, 4)
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(items, records(13));
+}
+
+#[test]
+fn crlf_line_endings_parse_cleanly() {
+    // A file produced on Windows: `\r` survives `BufRead::lines` (which
+    // strips only `\n`) and must be absorbed as JSON whitespace.
+    let crlf: Vec<u8> = jsonl(17)
+        .into_iter()
+        .flat_map(|b| {
+            if b == b'\n' {
+                vec![b'\r', b'\n']
+            } else {
+                vec![b]
+            }
+        })
+        .collect();
+    let items: Vec<_> = ParallelRecordReader::spawn(Cursor::new(crlf), 3, 4)
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(items, records(17));
+}
+
+/// A `BufRead` over a prefix of a record file that fails with
+/// `UnexpectedEof` once the prefix is exhausted — a stream that dies
+/// mid-file rather than at a record boundary.
+struct TruncatedReader {
+    data: Cursor<Vec<u8>>,
+    failed: bool,
+}
+
+impl TruncatedReader {
+    fn exhausted(&self) -> bool {
+        self.data.position() as usize == self.data.get_ref().len()
+    }
+
+    fn fail(&mut self) -> std::io::Error {
+        self.failed = true;
+        std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "stream died mid-file")
+    }
+}
+
+impl Read for TruncatedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.exhausted() && !self.failed {
+            return Err(self.fail());
+        }
+        self.data.read(buf)
+    }
+}
+
+impl BufRead for TruncatedReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.exhausted() && !self.failed {
+            return Err(self.fail());
+        }
+        self.data.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.data.consume(amt);
+    }
+}
+
+#[test]
+fn io_error_mid_file_is_delivered_at_the_exact_position_in_order() {
+    let bytes = jsonl(20);
+    // Truncate a few bytes into line 8 (after the 7th newline), so exactly
+    // 7 records are readable and the 8th line is cut mid-record.
+    let cut = bytes
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .nth(6)
+        .map(|(i, _)| i + 4)
+        .unwrap();
+    let reader = TruncatedReader {
+        data: Cursor::new(bytes[..cut].to_vec()),
+        failed: false,
+    };
+
+    let items: Vec<_> = ParallelRecordReader::spawn(reader, 3, 4).collect();
+
+    // The 7 complete records arrive first, in input order; the failure is
+    // the very next item — the partial 8th line is reported as I/O loss,
+    // never as a malformed record — and the stream ends there.
+    assert_eq!(items.len(), 8);
+    let good: Vec<_> = items[..7]
+        .iter()
+        .map(|r| r.clone().expect("complete records parse"))
+        .collect();
+    assert_eq!(good, records(20)[..7].to_vec());
+    match items[7].as_ref().unwrap_err() {
+        ParseRecordError::Io { kind, .. } => {
+            assert_eq!(*kind, std::io::ErrorKind::UnexpectedEof);
+        }
+        other => panic!("expected an Io error, got {other:?}"),
+    }
+}

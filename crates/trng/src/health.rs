@@ -5,6 +5,7 @@
 //! returning constant buffers, a transport short-circuit — with false-alarm
 //! probability around `2^-20` per window at the claimed entropy level.
 
+use pufobs::{Counter, Instruments};
 use std::error::Error;
 use std::fmt;
 
@@ -209,13 +210,43 @@ impl AdaptiveProportionTest {
 }
 
 /// Both continuous tests bundled, as a deployed source would run them.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HealthMonitor {
     rct: RepetitionCountTest,
     apt: AdaptiveProportionTest,
     bits_seen: u64,
     alarms: u64,
+    rct_alarms: u64,
+    apt_alarms: u64,
+    obs: Option<HealthInstruments>,
 }
+
+/// Pre-registered handles mirroring the monitor's counters into a
+/// [`pufobs::Instruments`] registry.
+#[derive(Debug, Clone)]
+struct HealthInstruments {
+    /// `trng.bits` — raw bits fed through the tests.
+    bits: Counter,
+    /// `trng.rct_alarms` — repetition-count alarms.
+    rct: Counter,
+    /// `trng.apt_alarms` — adaptive-proportion alarms.
+    apt: Counter,
+}
+
+/// Instrument state is bookkeeping, not test state: two monitors are equal
+/// when their tests and counts agree, regardless of attached registries.
+impl PartialEq for HealthMonitor {
+    fn eq(&self, other: &Self) -> bool {
+        self.rct == other.rct
+            && self.apt == other.apt
+            && self.bits_seen == other.bits_seen
+            && self.alarms == other.alarms
+            && self.rct_alarms == other.rct_alarms
+            && self.apt_alarms == other.apt_alarms
+    }
+}
+
+impl Eq for HealthMonitor {}
 
 impl HealthMonitor {
     /// Creates a monitor for a claimed per-bit min-entropy `h`.
@@ -229,7 +260,21 @@ impl HealthMonitor {
             apt: AdaptiveProportionTest::new(h),
             bits_seen: 0,
             alarms: 0,
+            rct_alarms: 0,
+            apt_alarms: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an instrument registry: the monitor then mirrors its
+    /// counts into `trng.bits`, `trng.rct_alarms`, and `trng.apt_alarms`.
+    /// Test behavior is unchanged.
+    pub fn attach_instruments(&mut self, ins: &Instruments) {
+        self.obs = Some(HealthInstruments {
+            bits: ins.counter("trng.bits"),
+            rct: ins.counter("trng.rct_alarms"),
+            apt: ins.counter("trng.apt_alarms"),
+        });
     }
 
     /// Feeds one raw bit through both tests.
@@ -245,7 +290,14 @@ impl HealthMonitor {
         self.bits_seen += 1;
         let rct = self.rct.feed(bit);
         let apt = self.apt.feed(bit);
+        self.rct_alarms += u64::from(rct.is_err());
+        self.apt_alarms += u64::from(apt.is_err());
         self.alarms += u64::from(rct.is_err()) + u64::from(apt.is_err());
+        if let Some(o) = &self.obs {
+            o.bits.inc();
+            o.rct.add(u64::from(rct.is_err()));
+            o.apt.add(u64::from(apt.is_err()));
+        }
         rct.and(apt)
     }
 
@@ -254,9 +306,19 @@ impl HealthMonitor {
         self.bits_seen
     }
 
-    /// Alarms raised so far.
+    /// Alarms raised so far (RCT and APT combined).
     pub fn alarms(&self) -> u64 {
         self.alarms
+    }
+
+    /// Repetition-count alarms raised so far.
+    pub fn rct_alarms(&self) -> u64 {
+        self.rct_alarms
+    }
+
+    /// Adaptive-proportion alarms raised so far.
+    pub fn apt_alarms(&self) -> u64 {
+        self.apt_alarms
     }
 }
 

@@ -1,0 +1,66 @@
+//! Regression test for the simultaneous-alarm accounting fix: a bit that
+//! trips the repetition-count and adaptive-proportion tests at once must
+//! book *two* alarms (the pre-fix monitor short-circuited and counted
+//! one), report the RCT failure first, and the `pufobs` alarm counters
+//! must agree with the monitor's own accessors.
+
+use pufobs::Instruments;
+use puftrng::health::{AdaptiveProportionTest, HealthFailure, HealthMonitor, RepetitionCountTest};
+
+#[test]
+fn simultaneous_rct_and_apt_alarms_count_twice_and_rct_reports_first() {
+    // On an all-ones stream the RCT alarms every `r` bits and the APT every
+    // `c` bits, so bit `r·c` trips both tests on the same bit.
+    let r = u64::from(RepetitionCountTest::new(1.0).cutoff());
+    let c = u64::from(AdaptiveProportionTest::new(1.0).cutoff());
+
+    let ins = Instruments::new();
+    let mut monitor = HealthMonitor::new(1.0);
+    monitor.attach_instruments(&ins);
+
+    let mut last = Ok(());
+    for _ in 0..r * c {
+        last = monitor.feed(true);
+    }
+
+    // Separate per-test accounting: r·c bits produce c RCT alarms and
+    // r APT alarms, and the combined count is their sum — the coincidence
+    // bit contributed one alarm to each.
+    assert_eq!(monitor.rct_alarms(), c);
+    assert_eq!(monitor.apt_alarms(), r);
+    assert_eq!(
+        monitor.alarms(),
+        monitor.rct_alarms() + monitor.apt_alarms()
+    );
+
+    // The last bit is the coincidence bit; RCT is reported first.
+    assert!(matches!(last, Err(HealthFailure::RepetitionCount { .. })));
+
+    // The pufobs counters agree with the monitor exactly.
+    let snap = ins.snapshot();
+    assert_eq!(snap.counter("trng.bits"), monitor.bits_seen());
+    assert_eq!(snap.counter("trng.rct_alarms"), monitor.rct_alarms());
+    assert_eq!(snap.counter("trng.apt_alarms"), monitor.apt_alarms());
+    assert_eq!(
+        snap.counter("trng.rct_alarms") + snap.counter("trng.apt_alarms"),
+        monitor.alarms()
+    );
+}
+
+#[test]
+fn healthy_stream_keeps_every_counter_at_zero() {
+    let ins = Instruments::new();
+    let mut monitor = HealthMonitor::new(0.5);
+    monitor.attach_instruments(&ins);
+    for i in 0..10_000u32 {
+        monitor
+            .feed(i % 2 == 0)
+            .expect("alternating stream is healthy");
+    }
+    let snap = ins.snapshot();
+    assert_eq!(snap.counter("trng.bits"), 10_000);
+    assert_eq!(snap.counter("trng.rct_alarms"), 0);
+    assert_eq!(snap.counter("trng.apt_alarms"), 0);
+    assert_eq!(monitor.rct_alarms(), 0);
+    assert_eq!(monitor.apt_alarms(), 0);
+}

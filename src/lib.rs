@@ -5,6 +5,7 @@
 //! for the substantive documentation:
 //!
 //! * [`pufbits`] — packed bit vectors and Hamming-space utilities.
+//! * [`pufobs`] — counters, gauges, latency histograms, progress rendering.
 //! * [`pufstats`] — histograms, descriptive statistics, entropy estimators.
 //! * [`sramcell`] — 6T SRAM cell power-up model and technology profiles.
 //! * [`sramaging`] — NBTI/PBTI aging under nominal and accelerated stress.
@@ -16,6 +17,7 @@
 pub use pufassess;
 pub use pufbits;
 pub use pufkeygen;
+pub use pufobs;
 pub use pufstats;
 pub use puftestbed;
 pub use puftrng;
