@@ -1,0 +1,112 @@
+//! Store codec throughput: records/sec encoding and decoding the same
+//! corpus as JSON lines vs `pufrec/1` binary, plus the parallel readers at
+//! 2 and 4 threads — the numbers behind the format choice. The corpus sizes
+//! (and their ratio) are printed once, since the on-disk win matters as
+//! much as the CPU win.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pufbench::Scale;
+use puftestbed::store::{
+    read_json_lines, BinaryRecordReader, BinarySink, JsonLinesSink, ParallelRecordReader, Record,
+    RecordSink,
+};
+use puftestbed::Campaign;
+use std::hint::black_box;
+use std::io::Cursor;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let dataset = Campaign::new(scale.campaign_config(), 31).run_in_memory();
+    let records: Vec<Record> = dataset.records().to_vec();
+    let n = records.len() as u64;
+
+    let mut json_sink = JsonLinesSink::new(Vec::new());
+    let mut binary_sink = BinarySink::new(Vec::new()).unwrap();
+    for r in &records {
+        json_sink.record(r).unwrap();
+        binary_sink.record(r).unwrap();
+    }
+    let json_bytes = json_sink.into_inner().unwrap();
+    let binary_bytes = binary_sink.into_inner().unwrap();
+    println!(
+        "corpus: {n} records, json {} bytes, binary {} bytes ({:.2}x smaller)",
+        json_bytes.len(),
+        binary_bytes.len(),
+        json_bytes.len() as f64 / binary_bytes.len() as f64
+    );
+
+    let mut group = c.benchmark_group("store_codec");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n));
+
+    group.bench_function("encode_json", |b| {
+        b.iter(|| {
+            let mut sink = JsonLinesSink::new(Vec::with_capacity(json_bytes.len()));
+            for r in &records {
+                sink.record(r).unwrap();
+            }
+            black_box(sink.into_inner().unwrap())
+        });
+    });
+
+    group.bench_function("encode_binary", |b| {
+        b.iter(|| {
+            let mut sink = BinarySink::new(Vec::with_capacity(binary_bytes.len())).unwrap();
+            for r in &records {
+                sink.record(r).unwrap();
+            }
+            black_box(sink.into_inner().unwrap())
+        });
+    });
+
+    group.bench_function("decode_json_sequential", |b| {
+        b.iter(|| {
+            let count = read_json_lines(Cursor::new(json_bytes.clone()))
+                .filter(|r| r.is_ok())
+                .count();
+            black_box(count)
+        });
+    });
+
+    group.bench_function("decode_binary_sequential", |b| {
+        b.iter(|| {
+            let mut rest = &binary_bytes[puftestbed::store::binary::HEADER_LEN..];
+            let mut count = 0usize;
+            while !rest.is_empty() {
+                let (record, used) = Record::decode_binary(rest).unwrap();
+                black_box(&record);
+                rest = &rest[used..];
+                count += 1;
+            }
+            black_box(count)
+        });
+    });
+
+    for threads in [2, 4] {
+        group.bench_function(&format!("decode_json_parallel_{threads}t"), |b| {
+            b.iter(|| {
+                let reader = ParallelRecordReader::spawn(
+                    Cursor::new(json_bytes.clone()),
+                    threads,
+                    puftestbed::store::DEFAULT_BATCH_LINES,
+                );
+                black_box(reader.filter(|r| r.is_ok()).count())
+            });
+        });
+        group.bench_function(&format!("decode_binary_parallel_{threads}t"), |b| {
+            b.iter(|| {
+                let reader = BinaryRecordReader::spawn(
+                    Cursor::new(binary_bytes.clone()),
+                    threads,
+                    puftestbed::store::DEFAULT_BATCH_LINES,
+                );
+                black_box(reader.filter(|r| r.is_ok()).count())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

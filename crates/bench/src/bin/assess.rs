@@ -1,19 +1,22 @@
-//! Analyses a JSON-lines record file with the paper's evaluation protocol:
-//! prints Table I, the Fig. 6 development summaries, and the fitted
-//! hidden-variable model of each device.
+//! Analyses a record file (JSON lines or `pufrec/1` binary) with the
+//! paper's evaluation protocol: prints Table I, the Fig. 6 development
+//! summaries, and the fitted hidden-variable model of each device.
 //!
 //! Records stream from disk through a parallel parser straight into the
 //! bounded-memory window accumulator, so arbitrarily large record files
 //! assess in memory proportional to `devices × months`, not file size.
 //!
 //! ```text
-//! assess --in records.jsonl [--reads 1000] [--eval-day 8] [--csv PREFIX]
-//!        [--threads N] [--batch-lines N] [--metrics-out FILE] [--verbose]
+//! assess --in records [--format json|binary] [--reads 1000] [--eval-day 8]
+//!        [--csv PREFIX] [--threads N] [--batch-lines N] [--metrics-out FILE]
+//!        [--verbose]
 //! ```
 //!
-//! `--metrics-out` dumps the `pufobs` reader and accumulator counters as
-//! JSON after the run; `--verbose` prints a once-per-second progress
-//! heartbeat to stderr. Neither changes the assessment by a byte.
+//! The storage format is detected from the file's first bytes; `--format`
+//! forces it instead. The assessment output is byte-identical across
+//! formats. `--metrics-out` dumps the `pufobs` reader and accumulator
+//! counters as JSON after the run; `--verbose` prints a once-per-second
+//! progress heartbeat to stderr. Neither changes the assessment by a byte.
 
 use pufassess::fit;
 use pufassess::monthly::EvaluationProtocol;
@@ -21,13 +24,16 @@ use pufassess::report::{self, Series};
 use pufassess::streaming::WindowAccumulator;
 use pufbench::metrics;
 use pufobs::Instruments;
-use puftestbed::store::{ParallelRecordReader, DEFAULT_BATCH_LINES};
+use puftestbed::store::{
+    AnyRecordReader, BinaryRecordReader, ParallelRecordReader, RecordFormat, DEFAULT_BATCH_LINES,
+};
 use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
 fn main() {
     let mut input: Option<String> = None;
+    let mut format: Option<RecordFormat> = None;
     let mut csv_prefix: Option<String> = None;
     let mut protocol = EvaluationProtocol::default();
     let mut threads = pufbench::default_threads();
@@ -46,6 +52,7 @@ fn main() {
         };
         match arg.as_str() {
             "--in" => input = Some(value().clone()),
+            "--format" => format = Some(parse(value(), "--format")),
             "--reads" => protocol.reads_per_window = parse(value(), "--reads"),
             "--eval-day" => protocol.eval_day = parse(value(), "--eval-day"),
             "--csv" => csv_prefix = Some(value().clone()),
@@ -67,8 +74,9 @@ fn main() {
             "--verbose" => verbose = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: assess --in FILE [--reads N] [--eval-day D] [--csv PREFIX] \
-                     [--threads N] [--batch-lines N] [--metrics-out FILE] [--verbose]"
+                    "usage: assess --in FILE [--format json|binary] [--reads N] \
+                     [--eval-day D] [--csv PREFIX] [--threads N] [--batch-lines N] \
+                     [--metrics-out FILE] [--verbose]"
                 );
                 return;
             }
@@ -91,8 +99,27 @@ fn main() {
     // Stream: reader thread → parser pool → accumulator. The file is never
     // held in memory; only per-(device, month) window state is.
     let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
-    let reader =
-        ParallelRecordReader::spawn_with(BufReader::new(file), threads, batch_lines, obs.as_ref());
+    let file = BufReader::new(file);
+    let reader = match format {
+        None => {
+            AnyRecordReader::open(file, threads, batch_lines, obs.as_ref()).unwrap_or_else(|e| {
+                eprintln!("cannot read {input}: {e}");
+                exit(1);
+            })
+        }
+        Some(RecordFormat::Json) => AnyRecordReader::Json(ParallelRecordReader::spawn_with(
+            file,
+            threads,
+            batch_lines,
+            obs.as_ref(),
+        )),
+        Some(RecordFormat::Binary) => AnyRecordReader::Binary(BinaryRecordReader::spawn_with(
+            file,
+            threads,
+            batch_lines,
+            obs.as_ref(),
+        )),
+    };
     let mut accumulator = WindowAccumulator::new(protocol);
     if let Some(ins) = &obs {
         accumulator.attach_instruments(ins);
@@ -113,13 +140,13 @@ fn main() {
             }
             Err(e) => {
                 malformed += 1;
-                eprintln!("skipping malformed line: {e}");
+                eprintln!("skipping malformed record: {e}");
             }
         }
     }
     drop(heartbeat);
     eprintln!(
-        "loaded {} records ({malformed} malformed lines, {} width-mismatched records skipped)",
+        "loaded {} records ({malformed} malformed, {} width-mismatched records skipped)",
         accumulator.records_seen(),
         accumulator.skipped_width_mismatch()
     );

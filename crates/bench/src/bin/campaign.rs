@@ -1,29 +1,31 @@
-//! Runs a measurement campaign and streams its records to a JSON-lines
-//! file — the simulated counterpart of the paper's rig writing to the
-//! Raspberry Pi database.
+//! Runs a measurement campaign and streams its records to a file — the
+//! simulated counterpart of the paper's rig writing to the Raspberry Pi
+//! database.
 //!
 //! ```text
-//! campaign --out records.jsonl [--boards 16] [--months 24] [--reads 1000]
-//!          [--read-bits 8192] [--seed 2017] [--nack-rate 0.0] [--threads N]
-//!          [--metrics-out FILE] [--verbose]
+//! campaign --out records [--format json|binary] [--boards 16] [--months 24]
+//!          [--reads 1000] [--read-bits 8192] [--seed 2017] [--nack-rate 0.0]
+//!          [--threads N] [--metrics-out FILE] [--verbose]
 //! ```
 //!
-//! Pair with the `assess` binary to analyse the file. `--metrics-out`
-//! dumps the `pufobs` campaign counters as JSON after the run;
-//! `--verbose` prints a once-per-second progress heartbeat (with ETA) to
-//! stderr. Neither changes the record file by a byte.
+//! `--format json` (the default) writes the paper's JSON lines; `--format
+//! binary` writes the compact `pufrec/1` store. Pair with the `assess`
+//! binary to analyse the file (it detects the format itself); the
+//! assessment is byte-identical either way. `--metrics-out` dumps the
+//! `pufobs` campaign counters as JSON after the run; `--verbose` prints a
+//! once-per-second progress heartbeat (with ETA) to stderr. Neither changes
+//! the record file by a byte.
 
-use pufbench::{campaign_total_cycles, metrics};
+use pufbench::{campaign_total_cycles, metrics, FormatSink};
 use pufobs::Instruments;
-use puftestbed::store::JsonLinesSink;
+use puftestbed::store::RecordFormat;
 use puftestbed::{Campaign, CampaignConfig};
-use std::fs::File;
-use std::io::BufWriter;
 use std::process::exit;
 
 fn main() {
     let mut config = CampaignConfig::default();
     let mut out: Option<String> = None;
+    let mut format = RecordFormat::Json;
     let mut seed = 2017u64;
     let mut threads = pufbench::default_threads();
     let mut metrics_out: Option<String> = None;
@@ -40,6 +42,7 @@ fn main() {
         };
         match arg.as_str() {
             "--out" => out = Some(value().clone()),
+            "--format" => format = parse(value(), "--format"),
             "--boards" => config.boards = parse(value(), "--boards"),
             "--months" => config.months = parse(value(), "--months"),
             "--reads" => config.reads_per_window = parse(value(), "--reads"),
@@ -60,9 +63,9 @@ fn main() {
             "--verbose" => verbose = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: campaign --out FILE [--boards N] [--months N] [--reads N] \
-                     [--read-bits N] [--seed N] [--nack-rate P] [--threads N] \
-                     [--metrics-out FILE] [--verbose]"
+                    "usage: campaign --out FILE [--format json|binary] [--boards N] \
+                     [--months N] [--reads N] [--read-bits N] [--seed N] [--nack-rate P] \
+                     [--threads N] [--metrics-out FILE] [--verbose]"
                 );
                 return;
             }
@@ -78,14 +81,15 @@ fn main() {
     };
 
     eprintln!(
-        "campaign: {} boards × {} months × {} reads/window × {} bits → {out} ({threads} threads)",
+        "campaign: {} boards × {} months × {} reads/window × {} bits → {out} \
+         ({format} format, {threads} threads)",
         config.boards, config.months, config.reads_per_window, config.read_bits
     );
-    let file = File::create(&out).unwrap_or_else(|e| {
+    let declared_bits = u32::try_from(config.read_bits).unwrap_or(0);
+    let mut sink = FormatSink::create(&out, format, declared_bits).unwrap_or_else(|e| {
         eprintln!("cannot create {out}: {e}");
         exit(1);
     });
-    let mut sink = JsonLinesSink::new(BufWriter::new(file));
     let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
     let total_cycles = campaign_total_cycles(&config);
     let mut campaign = Campaign::new(config, seed).threads(threads);
@@ -101,7 +105,7 @@ fn main() {
         exit(1);
     });
     drop(heartbeat);
-    if let Err(e) = sink.into_inner() {
+    if let Err(e) = sink.finish() {
         eprintln!("flush failed: {e}");
         exit(1);
     }

@@ -1,0 +1,122 @@
+//! Converts a record file between the JSON-lines and `pufrec/1` binary
+//! stores, losslessly — every field round-trips bit-for-bit, so assessing
+//! the converted file produces byte-identical output.
+//!
+//! ```text
+//! convert --in records.jsonl --out records.pufrec --format binary
+//!         [--threads N] [--batch N]
+//! ```
+//!
+//! The input format is detected from the file's first bytes; `--format`
+//! names the *output* format. Decoding runs on the parallel reader
+//! pipeline, so large corpora convert at close to disk speed. Any
+//! malformed or corrupt input record aborts the conversion: a migration
+//! must be exact, and silently dropping records would make the converted
+//! file assess differently from its source.
+
+use pufbench::FormatSink;
+use puftestbed::store::{AnyRecordReader, RecordFormat, RecordSink, DEFAULT_BATCH_LINES};
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+
+fn main() {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut format: Option<RecordFormat> = None;
+    let mut threads = pufbench::default_threads();
+    let mut batch = DEFAULT_BATCH_LINES;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = || {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{arg} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--in" => input = Some(value().clone()),
+            "--out" => output = Some(value().clone()),
+            "--format" => format = Some(parse(value(), "--format")),
+            "--threads" => {
+                threads = parse(value(), "--threads");
+                if threads == 0 {
+                    eprintln!("--threads must be positive");
+                    exit(2);
+                }
+            }
+            "--batch" => {
+                batch = parse(value(), "--batch");
+                if batch == 0 {
+                    eprintln!("--batch must be positive");
+                    exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: convert --in FILE --out FILE --format json|binary \
+                     [--threads N] [--batch N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                exit(2);
+            }
+        }
+    }
+    let (Some(input), Some(output), Some(format)) = (input, output, format) else {
+        eprintln!("--in FILE, --out FILE and --format json|binary are required (try --help)");
+        exit(2);
+    };
+
+    let file = File::open(&input).unwrap_or_else(|e| {
+        eprintln!("cannot open {input}: {e}");
+        exit(1);
+    });
+    let reader =
+        AnyRecordReader::open(BufReader::new(file), threads, batch, None).unwrap_or_else(|e| {
+            eprintln!("cannot read {input}: {e}");
+            exit(1);
+        });
+    let in_format = reader.format();
+    // The converted file's header cannot promise one read width: the input
+    // may mix widths, so declare 0 (unspecified).
+    let mut sink = FormatSink::create(&output, format, 0).unwrap_or_else(|e| {
+        eprintln!("cannot create {output}: {e}");
+        exit(1);
+    });
+
+    // On any failure the partial output is deleted: an aborted migration
+    // must leave no file behind, or the prefix would pass for a conversion.
+    let abort = |message: String| -> ! {
+        eprintln!("{message}");
+        eprintln!("conversion aborted: a migration must be lossless, not a silent prefix");
+        let _ = std::fs::remove_file(&output);
+        exit(1);
+    };
+
+    for (index, item) in reader.enumerate() {
+        let record = match item {
+            Ok(record) => record,
+            Err(e) => abort(format!("{input}: record {index}: {e}")),
+        };
+        if let Err(e) = sink.record(&record) {
+            abort(format!("writing {output} failed: {e}"));
+        }
+    }
+    let written = sink.written();
+    if let Err(e) = sink.finish() {
+        abort(format!("flush of {output} failed: {e}"));
+    }
+    eprintln!("converted {written} records: {input} ({in_format}) → {output} ({format})");
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value `{value}` for {flag}");
+        exit(2);
+    })
+}

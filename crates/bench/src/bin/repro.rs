@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! repro [--scale smoke|small|paper] [--seed N] [--threads N] \
+//!       [--records-out FILE] [--format json|binary] \
 //!       [--metrics-out FILE] [--verbose] \
 //!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel] [--all]
 //! ```
 //!
 //! Artifacts are printed to stdout; `--fig4` additionally writes
-//! `fig4_startup_pattern.pgm` to the working directory. `--metrics-out`
-//! dumps the `pufobs` pipeline snapshot (campaign and accumulator counters)
-//! as JSON after the run; `--verbose` prints a once-per-second progress
-//! heartbeat to stderr. Neither changes the printed artifacts by a byte.
+//! `fig4_startup_pattern.pgm` to the working directory. `--records-out`
+//! tees the campaign's records to a file in the chosen `--format` (default
+//! json) while the same pass feeds the assessment — re-assessing that file
+//! reproduces the printed tables. `--metrics-out` dumps the `pufobs`
+//! pipeline snapshot (campaign and accumulator counters) as JSON after the
+//! run; `--verbose` prints a once-per-second progress heartbeat to stderr.
+//! None of these change the printed artifacts by a byte.
 
 use pufassess::report::{self, Series};
 use pufassess::visualize;
 use pufbench::{
-    campaign_total_cycles, default_threads, metrics, run_assessment_streaming_with, Scale,
+    campaign_total_cycles, default_threads, metrics, run_assessment_streaming_recording,
+    run_assessment_streaming_with, FormatSink, Scale,
 };
 use pufobs::Instruments;
+use puftestbed::store::RecordFormat;
 use puftestbed::PowerWaveform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,6 +36,8 @@ fn main() {
     let mut scale = Scale::Small;
     let mut seed = 2017;
     let mut threads = default_threads();
+    let mut records_out: Option<String> = None;
+    let mut format = RecordFormat::Json;
     let mut metrics_out: Option<String> = None;
     let mut verbose = false;
     let mut artifacts: BTreeSet<&'static str> = BTreeSet::new();
@@ -58,6 +66,26 @@ fn main() {
                         eprintln!("--threads needs a positive integer");
                         std::process::exit(2);
                     });
+            }
+            "--records-out" => {
+                records_out = Some(
+                    iter.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--records-out needs a file path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--format" => {
+                let value = iter.next().unwrap_or_else(|| {
+                    eprintln!("--format needs a value (json|binary)");
+                    std::process::exit(2);
+                });
+                format = value.parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
             }
             "--metrics-out" => {
                 metrics_out = Some(
@@ -135,7 +163,34 @@ fn main() {
         };
         // Streamed: records fold into the assessment as the campaign emits
         // them, so even paper scale never holds the dataset in memory.
-        let assessment = run_assessment_streaming_with(scale, seed, threads, obs.as_ref());
+        let assessment = match &records_out {
+            Some(path) => {
+                let declared = u32::try_from(scale.campaign_config().read_bits).unwrap_or(0);
+                let mut sink = FormatSink::create(path, format, declared).unwrap_or_else(|e| {
+                    eprintln!("cannot create {path}: {e}");
+                    std::process::exit(1);
+                });
+                let assessment = run_assessment_streaming_recording(
+                    scale,
+                    seed,
+                    threads,
+                    obs.as_ref(),
+                    &mut sink,
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("recording records to {path} failed: {e}");
+                    std::process::exit(1);
+                });
+                let written = sink.written();
+                if let Err(e) = sink.finish() {
+                    eprintln!("flush of {path} failed: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {written} records to {path} ({format} format)");
+                assessment
+            }
+            None => run_assessment_streaming_with(scale, seed, threads, obs.as_ref()),
+        };
         drop(heartbeat);
         if artifacts.contains("fig5") {
             println!("\n=== Fig. 5: fractional HD / HW distributions at the start ===\n");

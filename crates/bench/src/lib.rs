@@ -12,7 +12,10 @@ use pufassess::monthly::EvaluationProtocol;
 use pufassess::streaming::WindowAccumulator;
 use pufassess::Assessment;
 use pufobs::Instruments;
-use puftestbed::{Campaign, CampaignConfig, Dataset};
+use puftestbed::store::{BinarySink, JsonLinesSink, RecordFormat, RecordSink, TeeSink};
+use puftestbed::{Campaign, CampaignConfig, Dataset, Record};
+use std::fs::File;
+use std::io::{self, BufWriter};
 
 /// How much of the paper's scale to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +157,97 @@ pub fn run_assessment_streaming_with(
     accumulator
         .finish()
         .expect("built-in scales produce assessable datasets")
+}
+
+/// [`run_assessment_streaming_with`], additionally teeing every campaign
+/// record into `sink` as it streams past the accumulator — one pass
+/// produces both the assessment and a record file, in either storage
+/// format. The assessment is identical to the non-recording variants.
+///
+/// # Errors
+///
+/// Returns the first error from `sink` (the campaign stops at it).
+///
+/// # Panics
+///
+/// Panics if the assessment fails (cannot happen for the built-in scales).
+pub fn run_assessment_streaming_recording<S: RecordSink>(
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    instruments: Option<&Instruments>,
+    sink: &mut S,
+) -> io::Result<Assessment> {
+    let mut accumulator = WindowAccumulator::new(scale.protocol());
+    let mut campaign = Campaign::new(scale.campaign_config(), seed).threads(threads);
+    if let Some(ins) = instruments {
+        accumulator.attach_instruments(ins);
+        campaign = campaign.instruments(ins);
+    }
+    let mut tee = TeeSink::new(&mut accumulator, sink);
+    campaign.run(&mut tee)?;
+    Ok(accumulator
+        .finish()
+        .expect("built-in scales produce assessable datasets"))
+}
+
+/// A buffered file sink in either storage format — the shared `--format`
+/// plumbing for the CLI binaries.
+#[derive(Debug)]
+pub enum FormatSink {
+    /// Writing JSON lines.
+    Json(JsonLinesSink<BufWriter<File>>),
+    /// Writing `pufrec/1` binary.
+    Binary(BinarySink<BufWriter<File>>),
+}
+
+impl FormatSink {
+    /// Creates `path` and wraps it in the sink for `format`.
+    /// `declared_bits` goes into the binary file header (advisory; pass the
+    /// campaign read width, or 0 when unknown or mixed).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the file or writing the header.
+    pub fn create(path: &str, format: RecordFormat, declared_bits: u32) -> io::Result<Self> {
+        let file = BufWriter::new(File::create(path)?);
+        Ok(match format {
+            RecordFormat::Json => Self::Json(JsonLinesSink::new(file)),
+            RecordFormat::Binary => {
+                Self::Binary(BinarySink::with_declared_bits(file, declared_bits)?)
+            }
+        })
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        match self {
+            Self::Json(s) => s.written(),
+            Self::Binary(s) => s.written(),
+        }
+    }
+
+    /// Flushes everything to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error, if any.
+    pub fn finish(self) -> io::Result<()> {
+        match self {
+            Self::Json(s) => s.into_inner()?.into_inner().map_err(|e| e.into_error())?,
+            Self::Binary(s) => s.into_inner()?.into_inner().map_err(|e| e.into_error())?,
+        };
+        Ok(())
+    }
+}
+
+impl RecordSink for FormatSink {
+    fn record(&mut self, record: &Record) -> io::Result<()> {
+        match self {
+            Self::Json(s) => s.record(record),
+            Self::Binary(s) => s.record(record),
+        }
+    }
 }
 
 /// Total power cycles a campaign at `config` will execute — the progress

@@ -425,11 +425,79 @@ impl BitVec {
     /// zero-padded. Inverse of [`from_bytes`](Self::from_bytes) when the
     /// length is a multiple of eight.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut bytes = vec![0u8; self.len.div_ceil(8)];
-        for (i, byte) in bytes.iter_mut().enumerate() {
-            *byte = ((self.words[i / 8] >> ((i % 8) * 8)) & 0xFF) as u8;
-        }
+        let mut bytes = Vec::with_capacity(self.byte_len());
+        self.to_bytes_into(&mut bytes);
         bytes
+    }
+
+    /// Number of bytes [`to_bytes`](Self::to_bytes) produces:
+    /// `len().div_ceil(8)`.
+    pub fn byte_len(&self) -> usize {
+        self.len.div_ceil(8)
+    }
+
+    /// Appends the packed bytes (the [`to_bytes`](Self::to_bytes)
+    /// serialization) to `out` without allocating a fresh buffer — the
+    /// zero-copy path for codecs writing one record after another into a
+    /// reused scratch vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = pufbits::BitVec::from_bytes(&[0xA5, 0x01]);
+    /// let mut out = Vec::new();
+    /// v.to_bytes_into(&mut out);
+    /// assert_eq!(out, [0xA5, 0x01]);
+    /// ```
+    pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
+        out.extend(self.bytes());
+    }
+
+    /// Iterator over the packed bytes, least-significant bit first (the
+    /// byte sequence [`to_bytes`](Self::to_bytes) returns), without
+    /// materialising a buffer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = pufbits::BitVec::from_bytes(&[0xDE, 0xAD]);
+    /// assert!(v.bytes().eq([0xDE, 0xAD]));
+    /// ```
+    pub fn bytes(&self) -> Bytes<'_> {
+        Bytes { vec: self, pos: 0 }
+    }
+
+    /// Creates a bit vector of exactly `len` bits from its packed byte
+    /// serialization — the single-allocation inverse of
+    /// [`to_bytes`](Self::to_bytes) for lengths that are not a multiple of
+    /// eight (equivalent to `from_bytes(bytes).prefix(len)` without the
+    /// intermediate copy). Pad bits past `len` in the final byte are
+    /// ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != len.div_ceil(8)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v = pufbits::BitVec::from_bytes_with_len(&[0xFF, 0x1F], 13);
+    /// assert_eq!(v.len(), 13);
+    /// assert_eq!(v.count_ones(), 13);
+    /// ```
+    pub fn from_bytes_with_len(bytes: &[u8], len: usize) -> Self {
+        assert_eq!(
+            bytes.len(),
+            len.div_ceil(8),
+            "byte count does not cover bit length {len}"
+        );
+        let mut words = vec![0u64; len.div_ceil(WORD_BITS)];
+        for (i, &b) in bytes.iter().enumerate() {
+            words[i / 8] |= (b as u64) << ((i % 8) * 8);
+        }
+        let mut v = Self { words, len };
+        v.mask_tail();
+        v
     }
 
     /// The underlying 64-bit words (tail bits beyond `len` are zero).
@@ -459,6 +527,34 @@ impl BitVec {
         }
     }
 }
+
+/// Iterator over the packed bytes of a [`BitVec`], produced by
+/// [`BitVec::bytes`].
+#[derive(Debug, Clone)]
+pub struct Bytes<'a> {
+    vec: &'a BitVec,
+    pos: usize,
+}
+
+impl Iterator for Bytes<'_> {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.pos >= self.vec.byte_len() {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some(((self.vec.words[i / 8] >> ((i % 8) * 8)) & 0xFF) as u8)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.byte_len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Bytes<'_> {}
 
 /// Iterator over the bits of a [`BitVec`], produced by [`BitVec::iter`].
 #[derive(Debug, Clone)]
@@ -548,7 +644,7 @@ impl fmt::Debug for BitVec {
 
 impl fmt::Display for BitVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for byte in self.to_bytes() {
+        for byte in self.bytes() {
             write!(f, "{byte:02x}")?;
         }
         Ok(())
@@ -579,6 +675,45 @@ mod tests {
         let v = BitVec::from_bytes(&bytes);
         assert_eq!(v.len(), 40);
         assert_eq!(v.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn byte_iterator_matches_to_bytes() {
+        for len in [0, 1, 7, 8, 13, 64, 65, 130] {
+            let mut v = BitVec::zeros(len);
+            for i in (0..len).step_by(3) {
+                v.set(i, true);
+            }
+            let collected: Vec<u8> = v.bytes().collect();
+            assert_eq!(collected, v.to_bytes(), "len {len}");
+            assert_eq!(v.bytes().len(), v.byte_len());
+            let mut appended = vec![0xEE];
+            v.to_bytes_into(&mut appended);
+            assert_eq!(appended[0], 0xEE, "to_bytes_into must append");
+            assert_eq!(&appended[1..], &collected[..]);
+        }
+    }
+
+    #[test]
+    fn from_bytes_with_len_equals_from_bytes_prefix() {
+        let bytes = [0xDE, 0xAD, 0xBE];
+        for len in [17usize, 20, 24] {
+            assert_eq!(
+                BitVec::from_bytes_with_len(&bytes[..len.div_ceil(8)], len),
+                BitVec::from_bytes(&bytes[..len.div_ceil(8)]).prefix(len)
+            );
+        }
+        assert_eq!(BitVec::from_bytes_with_len(&[], 0), BitVec::new());
+        // Pad bits past `len` are masked off.
+        let v = BitVec::from_bytes_with_len(&[0xFF], 3);
+        assert_eq!(v.count_ones(), 3);
+        assert_eq!(v.as_words()[0], 0b111);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn from_bytes_with_len_rejects_short_buffers() {
+        BitVec::from_bytes_with_len(&[0xFF], 9);
     }
 
     #[test]

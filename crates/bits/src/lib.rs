@@ -28,7 +28,7 @@ mod bitvec;
 mod counter;
 mod matrix;
 
-pub use bitvec::{BitVec, Iter};
+pub use bitvec::{BitVec, Bytes, Iter};
 pub use counter::OnesCounter;
 pub use matrix::BitMatrix;
 

@@ -225,13 +225,16 @@ impl MasterBoard {
         rng: &mut R,
     ) -> Result<Vec<(BoardId, BitVec)>, TransferError> {
         let mut out = Vec::with_capacity(self.slaves.len());
+        let mut bytes = Vec::new();
         for i in 0..self.slaves.len() {
             let readout = self.slaves[i].power_cycle(rng);
-            let bytes = readout.to_bytes();
+            bytes.clear();
+            readout.to_bytes_into(&mut bytes);
             let received = self.bus.transfer(Self::slave_address(i), &bytes, rng)?;
-            let mut bits = BitVec::from_bytes(&received);
-            bits = bits.prefix(readout.len());
-            out.push((self.slaves[i].id(), bits));
+            out.push((
+                self.slaves[i].id(),
+                BitVec::from_bytes_with_len(&received, readout.len()),
+            ));
         }
         Ok(out)
     }

@@ -251,17 +251,19 @@ impl BoardShard {
             records: Vec::with_capacity(reads as usize),
             ..ShardOutput::default()
         };
+        let mut bytes = Vec::new();
         for read in 0..reads {
             let t_in_window = f64::from(read) * period + 2.7 * self.layer as f64 + READOUT_DELAY_S;
             let timestamp = window_start.offset_by(t_in_window);
             let seq = base_cycle + u64::from(read);
             let readout = self.board.power_cycle_with(&mut self.kernel, &mut self.rng);
-            let bytes = readout.to_bytes();
+            bytes.clear();
+            readout.to_bytes_into(&mut bytes);
             let mut attempt = 0;
             loop {
                 match self.bus.transfer(self.address, &bytes, &mut self.rng) {
                     Ok(received) => {
-                        let bits = BitVec::from_bytes(&received).prefix(readout.len());
+                        let bits = BitVec::from_bytes_with_len(&received, readout.len());
                         out.records
                             .push(Record::new(self.board.id(), seq, timestamp, bits));
                         break;

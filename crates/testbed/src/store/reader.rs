@@ -1,17 +1,24 @@
-//! Bounded-memory parallel ingest of JSON-lines record streams.
+//! Bounded-memory parallel ingest of record streams.
 //!
 //! [`read_json_lines`](super::read_json_lines) parses sequentially on the
 //! caller's thread. At paper scale (~175 M records, ~350 GB of JSON) the
-//! parse dominates ingest, so [`ParallelRecordReader`] fans fixed-size line
-//! batches out to worker threads through *bounded* channels: peak memory is
-//! `O(threads × batch_lines)` regardless of file size, and the yielded
-//! record order is identical to the sequential reader's (batches are
-//! re-sequenced by index on the consumer side).
+//! parse dominates ingest, so the readers here fan fixed-size batches out to
+//! worker threads through *bounded* channels: peak memory is
+//! `O(threads × batch)` regardless of file size, and the yielded record
+//! order is identical to the sequential reader's (batches are re-sequenced
+//! by index on the consumer side).
 //!
 //! ```text
-//!  reader thread ──(idx, Vec<String>)──▶ workers ──(idx, Vec<Result>)──▶ reorder ──▶ iterator
-//!        bounded sync_channel                bounded sync_channel        BTreeMap
+//!  reader thread ──(idx, Vec<B>)──▶ workers ──(idx, Vec<Result>)──▶ reorder ──▶ iterator
+//!        bounded sync_channel            bounded sync_channel        BTreeMap
 //! ```
+//!
+//! The machinery is format-agnostic over the batch item `B`:
+//! [`ParallelRecordReader`] feeds it JSON lines (`B = String`, split on
+//! newlines), [`BinaryRecordReader`](super::BinaryRecordReader) feeds it
+//! length-prefixed `pufrec/1` frames (`B = Vec<u8>`). Only the producer
+//! (how the stream splits into items) and the per-item decode function
+//! differ.
 //!
 //! A mid-stream I/O failure is delivered in-band as a
 //! [`ParseRecordError::Io`] item at the exact position it occurred, then the
@@ -26,39 +33,62 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Default number of lines per parse batch.
+/// Default number of lines (or binary records) per parse batch.
 pub const DEFAULT_BATCH_LINES: usize = 1024;
 
 /// Pre-registered handles for the reader pipeline's instrument points.
-/// Counters update once per batch (not per line), so instrumentation adds
-/// a few atomic operations per `batch_lines` parsed records.
+/// Counters update once per batch (not per item), so instrumentation adds
+/// a few atomic operations per `batch` decoded records.
 #[derive(Debug, Clone)]
-struct ReaderInstruments {
+pub(crate) struct ReaderInstruments {
     ins: Instruments,
-    /// `reader.lines_read` — lines pulled off the input stream.
-    lines: Counter,
-    /// `reader.batches` — line batches dispatched to the worker pool.
+    /// `reader.bytes_read` — bytes pulled off the input stream (exact for
+    /// the binary reader; the JSON reader counts each line plus one newline
+    /// byte).
+    bytes: Counter,
+    /// `reader.lines_read` — lines pulled off the input stream (JSON only).
+    lines: Option<Counter>,
+    /// `reader.batches` — batches dispatched to the worker pool.
     batches: Counter,
-    /// `reader.records_parsed` — records parsed successfully.
+    /// `reader.records_parsed` (JSON) / `reader.records_decoded` (binary)
+    /// — records decoded successfully.
     records: Counter,
-    /// `reader.malformed_lines` — lines that failed to parse.
+    /// `reader.malformed_lines` (JSON) / `reader.corrupt_records` (binary)
+    /// — items that failed to decode.
     malformed: Counter,
     /// `reader.io_errors` — mid-stream I/O failures delivered in-band.
     io_errors: Counter,
     /// `reader.queue_depth` — batches queued between reader and workers.
     queue_depth: Gauge,
-    /// `reader.batch_parse_ns` — wall time to parse one batch.
+    /// `reader.batch_parse_ns` — wall time to decode one batch.
     batch_parse_ns: Histogram,
 }
 
 impl ReaderInstruments {
-    fn new(ins: &Instruments) -> Self {
+    /// Instrument names for the JSON-lines pipeline.
+    pub(crate) fn json(ins: &Instruments) -> Self {
         Self {
             ins: ins.clone(),
-            lines: ins.counter("reader.lines_read"),
+            bytes: ins.counter("reader.bytes_read"),
+            lines: Some(ins.counter("reader.lines_read")),
             batches: ins.counter("reader.batches"),
             records: ins.counter("reader.records_parsed"),
             malformed: ins.counter("reader.malformed_lines"),
+            io_errors: ins.counter("reader.io_errors"),
+            queue_depth: ins.gauge("reader.queue_depth"),
+            batch_parse_ns: ins.histogram("reader.batch_parse_ns"),
+        }
+    }
+
+    /// Instrument names for the `pufrec/1` binary pipeline.
+    pub(crate) fn binary(ins: &Instruments) -> Self {
+        Self {
+            ins: ins.clone(),
+            bytes: ins.counter("reader.bytes_read"),
+            lines: None,
+            batches: ins.counter("reader.batches"),
+            records: ins.counter("reader.records_decoded"),
+            malformed: ins.counter("reader.corrupt_records"),
             io_errors: ins.counter("reader.io_errors"),
             queue_depth: ins.gauge("reader.queue_depth"),
             batch_parse_ns: ins.histogram("reader.batch_parse_ns"),
@@ -68,33 +98,64 @@ impl ReaderInstruments {
 
 type ResultBatch = (usize, Vec<Result<Record, ParseRecordError>>);
 
-/// Iterator over records parsed from a JSON-lines stream by a pool of
-/// worker threads, in input order.
+/// The producer side of the pipeline, handed to the reader-thread body:
+/// tracks the batch sequence number and maintains the producer-side
+/// instruments so every format's producer stays a plain split loop.
+pub(crate) struct BatchFeed<B> {
+    work_tx: SyncSender<(usize, Vec<B>)>,
+    result_tx: SyncSender<ResultBatch>,
+    obs: Option<ReaderInstruments>,
+    idx: usize,
+}
+
+impl<B> BatchFeed<B> {
+    /// Dispatches one batch covering `bytes` input bytes to the worker
+    /// pool. Returns `false` if the consumer dropped the iterator (the
+    /// producer should stop reading).
+    pub(crate) fn send(&mut self, batch: Vec<B>, bytes: u64) -> bool {
+        if let Some(o) = &self.obs {
+            o.bytes.add(bytes);
+            if let Some(lines) = &o.lines {
+                lines.add(batch.len() as u64);
+            }
+            o.batches.inc();
+            o.queue_depth.add(1);
+        }
+        let ok = self.work_tx.send((self.idx, batch)).is_ok();
+        self.idx += 1;
+        ok
+    }
+
+    /// Counts stream bytes that belong to no batch (e.g. the file header).
+    pub(crate) fn count_bytes(&self, bytes: u64) {
+        if let Some(o) = &self.obs {
+            o.bytes.add(bytes);
+        }
+    }
+
+    /// Delivers a terminal in-band error (I/O failure, torn trailing
+    /// record) after everything sent so far, then ends the stream.
+    pub(crate) fn send_error(&mut self, err: ParseRecordError) {
+        if let Some(o) = &self.obs {
+            if err.is_io() {
+                o.io_errors.inc();
+            } else {
+                o.malformed.inc();
+            }
+        }
+        let _ = self.result_tx.send((self.idx, vec![Err(err)]));
+        self.idx += 1;
+    }
+}
+
+/// Iterator over records decoded by a pool of worker threads, in input
+/// order — the format-agnostic core shared by [`ParallelRecordReader`] and
+/// [`BinaryRecordReader`](super::BinaryRecordReader).
 ///
-/// Construct with [`ParallelRecordReader::spawn`]. Dropping the iterator
-/// early shuts the pipeline down and joins every thread.
-///
-/// # Examples
-///
-/// ```
-/// use pufbits::BitVec;
-/// use puftestbed::store::{ParallelRecordReader, RecordSink, JsonLinesSink};
-/// use puftestbed::{BoardId, Record, Timestamp};
-///
-/// let mut sink = JsonLinesSink::new(Vec::new());
-/// for seq in 0..100 {
-///     let r = Record::new(BoardId(1), seq, Timestamp(0), BitVec::from_bytes(&[0xA5]));
-///     sink.record(&r).unwrap();
-/// }
-/// let bytes = sink.into_inner().unwrap();
-/// let records: Vec<Record> = ParallelRecordReader::spawn(std::io::Cursor::new(bytes), 4, 8)
-///     .collect::<Result<_, _>>()
-///     .unwrap();
-/// assert_eq!(records.len(), 100);
-/// assert_eq!(records[99].seq, 99);
-/// ```
+/// Dropping the iterator early shuts the pipeline down and joins every
+/// thread.
 #[derive(Debug)]
-pub struct ParallelRecordReader {
+pub(crate) struct RecordPipeline {
     /// Results ready to be yielded, in order.
     ready: VecDeque<Result<Record, ParseRecordError>>,
     /// Out-of-order batches waiting for their predecessors.
@@ -105,51 +166,46 @@ pub struct ParallelRecordReader {
     handles: Vec<JoinHandle<()>>,
 }
 
-impl ParallelRecordReader {
-    /// Spawns the reader/worker pipeline over `reader`.
-    ///
-    /// `threads` is clamped to at least 1; `batch_lines` of 0 is treated
-    /// as 1. In-flight memory is bounded by roughly
-    /// `4 × threads × batch_lines` lines (two bounded channels plus the
-    /// batches held by the workers themselves).
-    pub fn spawn<R: BufRead + Send + 'static>(
-        reader: R,
+impl RecordPipeline {
+    /// Spawns `threads` decode workers running `decode` per item and one
+    /// producer thread running `produce` over a [`BatchFeed`]. `decode`
+    /// returning `None` drops the item (how the JSON path skips blank
+    /// lines).
+    pub(crate) fn spawn<B, P, F>(
         threads: usize,
-        batch_lines: usize,
-    ) -> Self {
-        Self::spawn_with(reader, threads, batch_lines, None)
-    }
-
-    /// [`spawn`](Self::spawn) with an optional instrument registry: when
-    /// given, the pipeline maintains `reader.*` counters (lines read,
-    /// batches, parsed/malformed/I/O-failed counts), the
-    /// `reader.queue_depth` gauge, and the `reader.batch_parse_ns`
-    /// per-batch parse-timing histogram. The yielded record sequence is
-    /// identical either way.
-    pub fn spawn_with<R: BufRead + Send + 'static>(
-        reader: R,
-        threads: usize,
-        batch_lines: usize,
-        instruments: Option<&Instruments>,
-    ) -> Self {
-        let obs = instruments.map(ReaderInstruments::new);
+        obs: Option<ReaderInstruments>,
+        produce: P,
+        decode: F,
+    ) -> Self
+    where
+        B: Send + 'static,
+        P: FnOnce(&mut BatchFeed<B>) + Send + 'static,
+        F: Fn(&B) -> Option<Result<Record, ParseRecordError>> + Send + Sync + 'static,
+    {
         let threads = threads.max(1);
-        let batch_lines = batch_lines.max(1);
-        let (work_tx, work_rx) = mpsc::sync_channel::<(usize, Vec<String>)>(threads);
+        let (work_tx, work_rx) = mpsc::sync_channel::<(usize, Vec<B>)>(threads);
         let (result_tx, result_rx) = mpsc::sync_channel::<ResultBatch>(threads);
         let work_rx = Arc::new(Mutex::new(work_rx));
+        let decode = Arc::new(decode);
 
         let mut handles = Vec::with_capacity(threads + 1);
         for _ in 0..threads {
             let work_rx = Arc::clone(&work_rx);
             let result_tx = result_tx.clone();
             let obs = obs.clone();
+            let decode = Arc::clone(&decode);
             handles.push(std::thread::spawn(move || {
-                parse_worker(&work_rx, &result_tx, obs.as_ref())
+                decode_worker(&work_rx, &result_tx, obs.as_ref(), decode.as_ref())
             }));
         }
         handles.push(std::thread::spawn(move || {
-            read_batches(reader, batch_lines, &work_tx, &result_tx, obs.as_ref());
+            let mut feed = BatchFeed {
+                work_tx,
+                result_tx,
+                obs,
+                idx: 0,
+            };
+            produce(&mut feed);
         }));
 
         Self {
@@ -204,7 +260,7 @@ impl ParallelRecordReader {
     }
 }
 
-impl Iterator for ParallelRecordReader {
+impl Iterator for RecordPipeline {
     type Item = Result<Record, ParseRecordError>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -215,89 +271,34 @@ impl Iterator for ParallelRecordReader {
     }
 }
 
-impl Drop for ParallelRecordReader {
+impl Drop for RecordPipeline {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-/// Reader-thread body: slice the stream into line batches, push them to the
-/// workers, and deliver I/O failures in-band at the position they occurred.
-fn read_batches<R: BufRead>(
-    reader: R,
-    batch_lines: usize,
-    work_tx: &SyncSender<(usize, Vec<String>)>,
+/// Worker-thread body: decode item batches, preserving every item's
+/// outcome.
+fn decode_worker<B>(
+    work_rx: &Mutex<Receiver<(usize, Vec<B>)>>,
     result_tx: &SyncSender<ResultBatch>,
     obs: Option<&ReaderInstruments>,
-) {
-    let dispatch = |batch: Vec<String>, idx: usize| {
-        if let Some(o) = obs {
-            o.lines.add(batch.len() as u64);
-            o.batches.inc();
-            o.queue_depth.add(1);
-        }
-        work_tx.send((idx, batch)).is_ok()
-    };
-    let mut idx = 0usize;
-    let mut batch: Vec<String> = Vec::with_capacity(batch_lines);
-    for line in reader.lines() {
-        match line {
-            Ok(l) => {
-                batch.push(l);
-                if batch.len() == batch_lines {
-                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_lines));
-                    if !dispatch(full, idx) {
-                        return; // consumer dropped
-                    }
-                    idx += 1;
-                }
-            }
-            Err(e) => {
-                // Flush what parsed cleanly, then the error, then stop: the
-                // rest of the stream is unreadable.
-                if !batch.is_empty() {
-                    if !dispatch(std::mem::take(&mut batch), idx) {
-                        return;
-                    }
-                    idx += 1;
-                }
-                if let Some(o) = obs {
-                    o.io_errors.inc();
-                }
-                let _ = result_tx.send((idx, vec![Err(ParseRecordError::from_io(&e))]));
-                return;
-            }
-        }
-    }
-    if !batch.is_empty() {
-        let _ = dispatch(batch, idx);
-    }
-}
-
-/// Worker-thread body: parse line batches, preserving every line's outcome
-/// (blank lines are dropped exactly as the sequential reader drops them).
-fn parse_worker(
-    work_rx: &Mutex<Receiver<(usize, Vec<String>)>>,
-    result_tx: &SyncSender<ResultBatch>,
-    obs: Option<&ReaderInstruments>,
+    decode: &(dyn Fn(&B) -> Option<Result<Record, ParseRecordError>> + Send + Sync),
 ) {
     loop {
         let received = {
             let rx = work_rx.lock().expect("work queue lock poisoned");
             rx.recv()
         };
-        let Ok((idx, lines)) = received else {
+        let Ok((idx, items)) = received else {
             return; // reader finished and channel drained
         };
         let started = obs.map(|o| {
             o.queue_depth.sub(1);
             o.ins.now()
         });
-        let parsed: Vec<Result<Record, ParseRecordError>> = lines
-            .iter()
-            .filter(|l| !l.trim().is_empty())
-            .map(|l| Record::parse_json_line(l))
-            .collect();
+        let parsed: Vec<Result<Record, ParseRecordError>> =
+            items.iter().filter_map(decode).collect();
         if let (Some(o), Some(t0)) = (obs, started) {
             o.batch_parse_ns
                 .record_duration(o.ins.now().saturating_sub(t0));
@@ -308,6 +309,125 @@ fn parse_worker(
         if result_tx.send((idx, parsed)).is_err() {
             return; // consumer dropped
         }
+    }
+}
+
+/// Iterator over records parsed from a JSON-lines stream by a pool of
+/// worker threads, in input order.
+///
+/// Construct with [`ParallelRecordReader::spawn`]. Dropping the iterator
+/// early shuts the pipeline down and joins every thread.
+///
+/// # Examples
+///
+/// ```
+/// use pufbits::BitVec;
+/// use puftestbed::store::{ParallelRecordReader, RecordSink, JsonLinesSink};
+/// use puftestbed::{BoardId, Record, Timestamp};
+///
+/// let mut sink = JsonLinesSink::new(Vec::new());
+/// for seq in 0..100 {
+///     let r = Record::new(BoardId(1), seq, Timestamp(0), BitVec::from_bytes(&[0xA5]));
+///     sink.record(&r).unwrap();
+/// }
+/// let bytes = sink.into_inner().unwrap();
+/// let records: Vec<Record> = ParallelRecordReader::spawn(std::io::Cursor::new(bytes), 4, 8)
+///     .collect::<Result<_, _>>()
+///     .unwrap();
+/// assert_eq!(records.len(), 100);
+/// assert_eq!(records[99].seq, 99);
+/// ```
+#[derive(Debug)]
+pub struct ParallelRecordReader {
+    inner: RecordPipeline,
+}
+
+impl ParallelRecordReader {
+    /// Spawns the reader/worker pipeline over `reader`.
+    ///
+    /// `threads` is clamped to at least 1; `batch_lines` of 0 is treated
+    /// as 1. In-flight memory is bounded by roughly
+    /// `4 × threads × batch_lines` lines (two bounded channels plus the
+    /// batches held by the workers themselves).
+    pub fn spawn<R: BufRead + Send + 'static>(
+        reader: R,
+        threads: usize,
+        batch_lines: usize,
+    ) -> Self {
+        Self::spawn_with(reader, threads, batch_lines, None)
+    }
+
+    /// [`spawn`](Self::spawn) with an optional instrument registry: when
+    /// given, the pipeline maintains `reader.*` counters (bytes and lines
+    /// read, batches, parsed/malformed/I/O-failed counts), the
+    /// `reader.queue_depth` gauge, and the `reader.batch_parse_ns`
+    /// per-batch parse-timing histogram. The yielded record sequence is
+    /// identical either way.
+    pub fn spawn_with<R: BufRead + Send + 'static>(
+        reader: R,
+        threads: usize,
+        batch_lines: usize,
+        instruments: Option<&Instruments>,
+    ) -> Self {
+        let obs = instruments.map(ReaderInstruments::json);
+        let batch_lines = batch_lines.max(1);
+        Self {
+            inner: RecordPipeline::spawn(
+                threads,
+                obs,
+                move |feed| read_line_batches(reader, batch_lines, feed),
+                |line: &String| {
+                    if line.trim().is_empty() {
+                        None // blank lines are dropped, like the sequential reader
+                    } else {
+                        Some(Record::parse_json_line(line))
+                    }
+                },
+            ),
+        }
+    }
+}
+
+impl Iterator for ParallelRecordReader {
+    type Item = Result<Record, ParseRecordError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+/// Reader-thread body for the JSON pipeline: slice the stream into line
+/// batches, push them to the workers, and deliver I/O failures in-band at
+/// the position they occurred.
+fn read_line_batches<R: BufRead>(reader: R, batch_lines: usize, feed: &mut BatchFeed<String>) {
+    let mut batch: Vec<String> = Vec::with_capacity(batch_lines);
+    let mut batch_bytes = 0u64;
+    for line in reader.lines() {
+        match line {
+            Ok(l) => {
+                batch_bytes += l.len() as u64 + 1;
+                batch.push(l);
+                if batch.len() == batch_lines {
+                    let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_lines));
+                    if !feed.send(full, batch_bytes) {
+                        return; // consumer dropped
+                    }
+                    batch_bytes = 0;
+                }
+            }
+            Err(e) => {
+                // Flush what parsed cleanly, then the error, then stop: the
+                // rest of the stream is unreadable.
+                if !batch.is_empty() && !feed.send(std::mem::take(&mut batch), batch_bytes) {
+                    return;
+                }
+                feed.send_error(ParseRecordError::from_io(&e));
+                return;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        let _ = feed.send(batch, batch_bytes);
     }
 }
 
@@ -417,11 +537,13 @@ mod tests {
         let mut bytes = jsonl(20);
         bytes.extend_from_slice(b"not json\n");
         bytes.extend_from_slice(&jsonl(5));
+        let total_bytes = bytes.len() as u64;
         let items: Vec<_> =
             ParallelRecordReader::spawn_with(Cursor::new(bytes), 2, 4, Some(&ins)).collect();
         assert_eq!(items.len(), 26);
         let snap = ins.snapshot();
         assert_eq!(snap.counter("reader.lines_read"), 26);
+        assert_eq!(snap.counter("reader.bytes_read"), total_bytes);
         assert_eq!(snap.counter("reader.records_parsed"), 25);
         assert_eq!(snap.counter("reader.malformed_lines"), 1);
         assert_eq!(snap.counter("reader.io_errors"), 0);

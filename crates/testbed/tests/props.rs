@@ -71,6 +71,40 @@ proptest! {
     }
 
     #[test]
+    fn records_survive_the_binary_store(device in any::<u8>(), seq in any::<u64>(), ts in any::<i64>(), bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        // Full u64/i64 domains including negative timestamps, plus empty
+        // and non-byte-aligned patterns.
+        let record = Record::new(BoardId(device), seq, Timestamp(ts), BitVec::from_bits(bits));
+        let mut buf = Vec::new();
+        record.encode_binary(&mut buf);
+        let (back, used) = Record::decode_binary(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back, record);
+    }
+
+    #[test]
+    fn binary_and_json_stores_agree(device in 0u8..32, seq in any::<u64>(), ts in any::<i64>(), bits in prop::collection::vec(any::<bool>(), 0..300)) {
+        let record = Record::new(BoardId(device), seq, Timestamp(ts), BitVec::from_bits(bits));
+        let mut buf = Vec::new();
+        record.encode_binary(&mut buf);
+        let via_binary = Record::decode_binary(&buf).unwrap().0;
+        let via_json = Record::parse_json_line(&record.to_json_line()).unwrap();
+        prop_assert_eq!(via_binary, via_json);
+    }
+
+    #[test]
+    fn binary_store_detects_any_single_byte_corruption(seq in any::<u64>(), ts in any::<i64>(), bits in prop::collection::vec(any::<bool>(), 1..300), pos_pick in any::<u16>(), xor in 1u8..=255) {
+        let record = Record::new(BoardId(7), seq, Timestamp(ts), BitVec::from_bits(bits));
+        let mut buf = Vec::new();
+        record.encode_binary(&mut buf);
+        // Corrupt any byte past the length prefix (a corrupt prefix is a
+        // framing error with its own tests); the CRC must catch it.
+        let pos = 4 + usize::from(pos_pick) % (buf.len() - 4);
+        buf[pos] ^= xor;
+        prop_assert!(Record::decode_binary(&buf).is_err(), "flip at {} went undetected", pos);
+    }
+
+    #[test]
     fn oversized_devices_are_rejected_not_truncated(device in 256u64..=u64::MAX) {
         let line = format!(
             r#"{{"device":{device},"seq":0,"timestamp":0,"bits":8,"data":"00"}}"#

@@ -60,7 +60,16 @@ impl Conditioner {
             (0.0..=1.0).contains(&entropy_per_bit),
             "entropy per bit out of range: {entropy_per_bit}"
         );
-        self.state.update(&raw.to_bytes());
+        // Absorb the packed bytes straight from the word storage — same
+        // byte stream as `raw.to_bytes()` (SHA-256 updates are streaming),
+        // without materialising a per-read-out Vec.
+        let mut remaining = raw.byte_len();
+        for word in raw.as_words() {
+            let bytes = word.to_le_bytes();
+            let take = remaining.min(bytes.len());
+            self.state.update(&bytes[..take]);
+            remaining -= take;
+        }
         self.state.update(&(raw.len() as u64).to_le_bytes());
         self.credit_bits += raw.len() as f64 * entropy_per_bit;
     }
