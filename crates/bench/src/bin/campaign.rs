@@ -6,6 +6,8 @@
 //! campaign --out records [--format json|binary] [--boards 16] [--months 24]
 //!          [--reads 1000] [--read-bits 8192] [--seed 2017] [--nack-rate 0.0]
 //!          [--threads N] [--metrics-out FILE] [--verbose]
+//!          [--checkpoint-out FILE] [--checkpoint-every N]
+//!          [--resume-from FILE] [--halt-after-windows N]
 //! ```
 //!
 //! `--format json` (the default) writes the paper's JSON lines; `--format
@@ -15,11 +17,20 @@
 //! `pufobs` campaign counters as JSON after the run; `--verbose` prints a
 //! once-per-second progress heartbeat (with ETA) to stderr. Neither changes
 //! the record file by a byte.
+//!
+//! `--checkpoint-out` writes a `pufchk/1` checkpoint (atomically) after
+//! every `--checkpoint-every` windows (default 1). `--resume-from`
+//! continues an interrupted campaign from its checkpoint — the flags
+//! describing the campaign must match the original run (the checkpoint's
+//! config hash is verified) — and produces a record file byte-identical to
+//! the uninterrupted run. `--halt-after-windows` stops the run early while
+//! keeping it resumable (an in-process interruption drill).
 
-use pufbench::{campaign_total_cycles, metrics, FormatSink};
+use pufbench::{campaign_total_cycles, metrics, reopen_for_resume, FormatSink};
 use pufobs::Instruments;
-use puftestbed::store::RecordFormat;
+use puftestbed::store::{checkpoint, RecordFormat};
 use puftestbed::{Campaign, CampaignConfig};
+use std::path::Path;
 use std::process::exit;
 
 fn main() {
@@ -30,6 +41,10 @@ fn main() {
     let mut threads = pufbench::default_threads();
     let mut metrics_out: Option<String> = None;
     let mut verbose = false;
+    let mut checkpoint_out: Option<String> = None;
+    let mut checkpoint_every: u32 = 0;
+    let mut resume_from: Option<String> = None;
+    let mut halt_after: Option<u32> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -61,11 +76,17 @@ fn main() {
             }
             "--metrics-out" => metrics_out = Some(value().clone()),
             "--verbose" => verbose = true,
+            "--checkpoint-out" => checkpoint_out = Some(value().clone()),
+            "--checkpoint-every" => checkpoint_every = parse(value(), "--checkpoint-every"),
+            "--resume-from" => resume_from = Some(value().clone()),
+            "--halt-after-windows" => halt_after = Some(parse(value(), "--halt-after-windows")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign --out FILE [--format json|binary] [--boards N] \
                      [--months N] [--reads N] [--read-bits N] [--seed N] [--nack-rate P] \
-                     [--threads N] [--metrics-out FILE] [--verbose]"
+                     [--threads N] [--metrics-out FILE] [--verbose] \
+                     [--checkpoint-out FILE] [--checkpoint-every N] \
+                     [--resume-from FILE] [--halt-after-windows N]"
                 );
                 return;
             }
@@ -79,6 +100,13 @@ fn main() {
         eprintln!("--out FILE is required (try --help)");
         exit(2);
     };
+    if checkpoint_every > 0 && checkpoint_out.is_none() {
+        eprintln!("--checkpoint-every needs --checkpoint-out FILE");
+        exit(2);
+    }
+    if checkpoint_out.is_some() && checkpoint_every == 0 {
+        checkpoint_every = 1;
+    }
 
     eprintln!(
         "campaign: {} boards × {} months × {} reads/window × {} bits → {out} \
@@ -86,15 +114,51 @@ fn main() {
         config.boards, config.months, config.reads_per_window, config.read_bits
     );
     let declared_bits = u32::try_from(config.read_bits).unwrap_or(0);
-    let mut sink = FormatSink::create(&out, format, declared_bits).unwrap_or_else(|e| {
-        eprintln!("cannot create {out}: {e}");
+    let total_cycles = campaign_total_cycles(&config);
+
+    // Validate the resume (config hash, state consistency) BEFORE touching
+    // the output file, so a refused resume leaves the partial output alone.
+    let resume_state = resume_from.as_ref().map(|ckpt| {
+        checkpoint::read_file(Path::new(ckpt)).unwrap_or_else(|e| {
+            eprintln!("cannot resume from {ckpt}: {e}");
+            exit(1);
+        })
+    });
+    let mut campaign = match &resume_state {
+        Some(state) => {
+            let campaign = Campaign::resume(config, seed, state).unwrap_or_else(|e| {
+                eprintln!(
+                    "cannot resume from {}: {e}",
+                    resume_from.as_deref().unwrap_or_default()
+                );
+                exit(1);
+            });
+            eprintln!(
+                "resuming at window {} with {} records already on disk",
+                state.next_window, state.summary.records
+            );
+            campaign
+        }
+        None => Campaign::new(config, seed),
+    }
+    .threads(threads);
+    let mut sink = match &resume_state {
+        Some(state) => reopen_for_resume(&out, format, declared_bits, state.summary.records, None),
+        None => FormatSink::create(&out, format, declared_bits),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot open {out}: {e}");
         exit(1);
     });
     let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
-    let total_cycles = campaign_total_cycles(&config);
-    let mut campaign = Campaign::new(config, seed).threads(threads);
     if let Some(ins) = &obs {
         campaign = campaign.instruments(ins);
+    }
+    if let Some(ckpt) = &checkpoint_out {
+        campaign = campaign.checkpoints(checkpoint_every, ckpt);
+    }
+    if let Some(n) = halt_after {
+        campaign = campaign.halt_after_windows(n);
     }
     let heartbeat = verbose.then(|| {
         let ins = obs.as_ref().expect("verbose implies instruments");
@@ -109,10 +173,20 @@ fn main() {
         eprintln!("flush failed: {e}");
         exit(1);
     }
-    eprintln!(
-        "done: {} records over {} windows ({} transport retries, {} dropped)",
-        summary.records, summary.windows, summary.retries, summary.dropped
-    );
+    if campaign.completed() {
+        eprintln!(
+            "done: {} records over {} windows ({} transport retries, {} dropped)",
+            summary.records, summary.windows, summary.retries, summary.dropped
+        );
+    } else {
+        eprintln!(
+            "halted after {} windows ({} records so far); continue with \
+             --resume-from {}",
+            summary.windows,
+            summary.records,
+            checkpoint_out.as_deref().unwrap_or("<checkpoint>")
+        );
+    }
     if let (Some(path), Some(ins)) = (&metrics_out, &obs) {
         match metrics::write_metrics(path, ins) {
             Ok(()) => eprintln!("wrote metrics snapshot to {path}"),

@@ -12,7 +12,10 @@
 //! pipeline, so large corpora convert at close to disk speed. Any
 //! malformed or corrupt input record aborts the conversion: a migration
 //! must be exact, and silently dropping records would make the converted
-//! file assess differently from its source.
+//! file assess differently from its source. The output is written
+//! atomically — it appears at `--out` only once the conversion is
+//! complete, so an aborted migration leaves nothing that could pass for a
+//! converted file.
 
 use pufbench::FormatSink;
 use puftestbed::store::{AnyRecordReader, RecordFormat, RecordSink, DEFAULT_BATCH_LINES};
@@ -72,46 +75,46 @@ fn main() {
         exit(2);
     };
 
-    let file = File::open(&input).unwrap_or_else(|e| {
-        eprintln!("cannot open {input}: {e}");
-        exit(1);
-    });
-    let reader =
-        AnyRecordReader::open(BufReader::new(file), threads, batch, None).unwrap_or_else(|e| {
-            eprintln!("cannot read {input}: {e}");
+    match convert(&input, &output, format, threads, batch) {
+        Ok((written, in_format)) => {
+            eprintln!("converted {written} records: {input} ({in_format}) → {output} ({format})")
+        }
+        Err(message) => {
+            // The atomic sink never published anything at `--out`: an
+            // aborted migration leaves no file that could pass for a
+            // conversion.
+            eprintln!("{message}");
+            eprintln!("conversion aborted: a migration must be lossless, not a silent prefix");
             exit(1);
-        });
+        }
+    }
+}
+
+fn convert(
+    input: &str,
+    output: &str,
+    format: RecordFormat,
+    threads: usize,
+    batch: usize,
+) -> Result<(u64, RecordFormat), String> {
+    let file = File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+    let reader = AnyRecordReader::open(BufReader::new(file), threads, batch, None)
+        .map_err(|e| format!("cannot read {input}: {e}"))?;
     let in_format = reader.format();
     // The converted file's header cannot promise one read width: the input
     // may mix widths, so declare 0 (unspecified).
-    let mut sink = FormatSink::create(&output, format, 0).unwrap_or_else(|e| {
-        eprintln!("cannot create {output}: {e}");
-        exit(1);
-    });
-
-    // On any failure the partial output is deleted: an aborted migration
-    // must leave no file behind, or the prefix would pass for a conversion.
-    let abort = |message: String| -> ! {
-        eprintln!("{message}");
-        eprintln!("conversion aborted: a migration must be lossless, not a silent prefix");
-        let _ = std::fs::remove_file(&output);
-        exit(1);
-    };
-
+    let mut sink = FormatSink::create(output, format, 0)
+        .map_err(|e| format!("cannot create {output}: {e}"))?;
+    // Early returns drop `sink`, which removes the unpublished temp file.
     for (index, item) in reader.enumerate() {
-        let record = match item {
-            Ok(record) => record,
-            Err(e) => abort(format!("{input}: record {index}: {e}")),
-        };
-        if let Err(e) = sink.record(&record) {
-            abort(format!("writing {output} failed: {e}"));
-        }
+        let record = item.map_err(|e| format!("{input}: record {index}: {e}"))?;
+        sink.record(&record)
+            .map_err(|e| format!("writing {output} failed: {e}"))?;
     }
     let written = sink.written();
-    if let Err(e) = sink.finish() {
-        abort(format!("flush of {output} failed: {e}"));
-    }
-    eprintln!("converted {written} records: {input} ({in_format}) → {output} ({format})");
+    sink.finish()
+        .map_err(|e| format!("flush of {output} failed: {e}"))?;
+    Ok((written, in_format))
 }
 
 fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {

@@ -2,34 +2,46 @@
 //!
 //! ```text
 //! repro [--scale smoke|small|paper] [--seed N] [--threads N] \
-//!       [--records-out FILE] [--format json|binary] \
+//!       [--records-out FILE] [--format json|binary] [--out-dir DIR] \
 //!       [--metrics-out FILE] [--verbose] \
+//!       [--checkpoint-out FILE] [--checkpoint-every N] \
+//!       [--resume-from FILE] [--halt-after-windows N] \
 //!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel] [--all]
 //! ```
 //!
 //! Artifacts are printed to stdout; `--fig4` additionally writes
-//! `fig4_startup_pattern.pgm` to the working directory. `--records-out`
-//! tees the campaign's records to a file in the chosen `--format` (default
-//! json) while the same pass feeds the assessment — re-assessing that file
-//! reproduces the printed tables. `--metrics-out` dumps the `pufobs`
-//! pipeline snapshot (campaign and accumulator counters) as JSON after the
-//! run; `--verbose` prints a once-per-second progress heartbeat to stderr.
-//! None of these change the printed artifacts by a byte.
+//! `fig4_startup_pattern.pgm` under `--out-dir` (default `examples/out`,
+//! created on demand). `--records-out` tees the campaign's records to a
+//! file in the chosen `--format` (default json) while the same pass feeds
+//! the assessment — re-assessing that file reproduces the printed tables.
+//! `--metrics-out` dumps the `pufobs` pipeline snapshot (campaign and
+//! accumulator counters) as JSON after the run; `--verbose` prints a
+//! once-per-second progress heartbeat to stderr. None of these change the
+//! printed artifacts by a byte.
+//!
+//! `--checkpoint-out`/`--checkpoint-every` write `pufchk/1` checkpoints at
+//! window boundaries; `--resume-from` (which needs `--records-out`, the
+//! file the interrupted stream is salvaged from) continues a halted or
+//! killed run and reproduces the uninterrupted run's records and tables
+//! exactly. `--halt-after-windows` stops the campaign early but
+//! resumable.
 
 use pufassess::report::{self, Series};
+use pufassess::streaming::WindowAccumulator;
 use pufassess::visualize;
 use pufbench::{
-    campaign_total_cycles, default_threads, metrics, run_assessment_streaming_recording,
+    campaign_total_cycles, default_threads, metrics, reopen_for_resume,
     run_assessment_streaming_with, FormatSink, Scale,
 };
 use pufobs::Instruments;
-use puftestbed::store::RecordFormat;
-use puftestbed::PowerWaveform;
+use puftestbed::store::{checkpoint, RecordFormat, TeeSink};
+use puftestbed::{Campaign, PowerWaveform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sramaging::accelerated;
 use sramcell::{Environment, SramArray, TechnologyProfile};
 use std::collections::BTreeSet;
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,8 +50,13 @@ fn main() {
     let mut threads = default_threads();
     let mut records_out: Option<String> = None;
     let mut format = RecordFormat::Json;
+    let mut out_dir = String::from("examples/out");
     let mut metrics_out: Option<String> = None;
     let mut verbose = false;
+    let mut checkpoint_out: Option<String> = None;
+    let mut checkpoint_every: u32 = 0;
+    let mut resume_from: Option<String> = None;
+    let mut halt_after: Option<u32> = None;
     let mut artifacts: BTreeSet<&'static str> = BTreeSet::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -97,6 +114,47 @@ fn main() {
                         .clone(),
                 );
             }
+            "--out-dir" => {
+                out_dir = iter
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--out-dir needs a directory path");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            "--checkpoint-out" => {
+                checkpoint_out = Some(
+                    iter.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--checkpoint-out needs a file path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--checkpoint-every needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--resume-from" => {
+                resume_from = Some(
+                    iter.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--resume-from needs a file path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            "--halt-after-windows" => {
+                halt_after = Some(iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--halt-after-windows needs an integer");
+                    std::process::exit(2);
+                }));
+            }
             "--verbose" => verbose = true,
             "--fig3" => {
                 artifacts.insert("fig3");
@@ -132,13 +190,27 @@ fn main() {
             artifacts.insert(a);
         }
     }
+    if checkpoint_every > 0 && checkpoint_out.is_none() {
+        eprintln!("--checkpoint-every needs --checkpoint-out FILE");
+        std::process::exit(2);
+    }
+    if checkpoint_out.is_some() && checkpoint_every == 0 {
+        checkpoint_every = 1;
+    }
+    if resume_from.is_some() && records_out.is_none() {
+        eprintln!(
+            "--resume-from needs --records-out FILE (the already-measured head of the \
+             record stream is salvaged from it to rebuild the assessment)"
+        );
+        std::process::exit(2);
+    }
 
     // Figures 3 and 4 and the accelerated comparison need no campaign.
     if artifacts.contains("fig3") {
         fig3();
     }
     if artifacts.contains("fig4") {
-        fig4(seed);
+        fig4(seed, &out_dir);
     }
     if artifacts.contains("accel") {
         accel();
@@ -163,35 +235,128 @@ fn main() {
         };
         // Streamed: records fold into the assessment as the campaign emits
         // them, so even paper scale never holds the dataset in memory.
-        let assessment = match &records_out {
-            Some(path) => {
-                let declared = u32::try_from(scale.campaign_config().read_bits).unwrap_or(0);
-                let mut sink = FormatSink::create(path, format, declared).unwrap_or_else(|e| {
-                    eprintln!("cannot create {path}: {e}");
-                    std::process::exit(1);
-                });
-                let assessment = run_assessment_streaming_recording(
-                    scale,
-                    seed,
-                    threads,
-                    obs.as_ref(),
-                    &mut sink,
-                )
-                .unwrap_or_else(|e| {
-                    eprintln!("recording records to {path} failed: {e}");
-                    std::process::exit(1);
-                });
-                let written = sink.written();
-                if let Err(e) = sink.finish() {
-                    eprintln!("flush of {path} failed: {e}");
-                    std::process::exit(1);
+        // Validate a resume (config hash, state consistency) BEFORE
+        // touching the output file, so a refused resume leaves the partial
+        // output alone.
+        let resume_state = resume_from.as_ref().map(|ckpt| {
+            checkpoint::read_file(Path::new(ckpt)).unwrap_or_else(|e| {
+                eprintln!("cannot resume from {ckpt}: {e}");
+                std::process::exit(1);
+            })
+        });
+        let needs_campaign_plumbing = resume_state.is_some()
+            || checkpoint_out.is_some()
+            || halt_after.is_some()
+            || records_out.is_some();
+        let assessment = if needs_campaign_plumbing {
+            let path = records_out.as_deref();
+            let mut campaign = match &resume_state {
+                Some(state) => {
+                    let campaign = Campaign::resume(scale.campaign_config(), seed, state)
+                        .unwrap_or_else(|e| {
+                            eprintln!(
+                                "cannot resume from {}: {e}",
+                                resume_from.as_deref().unwrap_or_default()
+                            );
+                            std::process::exit(1);
+                        });
+                    eprintln!(
+                        "resuming at window {} with {} records already on disk",
+                        state.next_window, state.summary.records
+                    );
+                    campaign
                 }
-                eprintln!("wrote {written} records to {path} ({format} format)");
-                assessment
+                None => Campaign::new(scale.campaign_config(), seed),
             }
-            None => run_assessment_streaming_with(scale, seed, threads, obs.as_ref()),
+            .threads(threads);
+            if let Some(ins) = &obs {
+                campaign = campaign.instruments(ins);
+            }
+            if let Some(ckpt) = &checkpoint_out {
+                campaign = campaign.checkpoints(checkpoint_every, ckpt);
+            }
+            if let Some(n) = halt_after {
+                campaign = campaign.halt_after_windows(n);
+            }
+            let mut accumulator = WindowAccumulator::new(scale.protocol());
+            if let Some(ins) = &obs {
+                accumulator.attach_instruments(ins);
+            }
+            match path {
+                Some(path) => {
+                    let declared = u32::try_from(scale.campaign_config().read_bits).unwrap_or(0);
+                    // On resume, the salvage pass replays the head of the
+                    // stream into the accumulator, so the assessment sees
+                    // the complete campaign despite the interruption.
+                    let mut sink = match &resume_state {
+                        Some(state) => reopen_for_resume(
+                            path,
+                            format,
+                            declared,
+                            state.summary.records,
+                            Some(&mut accumulator),
+                        ),
+                        None => FormatSink::create(path, format, declared),
+                    }
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    {
+                        let mut tee = TeeSink::new(&mut accumulator, &mut sink);
+                        campaign.run(&mut tee).unwrap_or_else(|e| {
+                            eprintln!("recording records to {path} failed: {e}");
+                            std::process::exit(1);
+                        });
+                    }
+                    let written = sink.written();
+                    if let Err(e) = sink.finish() {
+                        eprintln!("flush of {path} failed: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("wrote {written} records to {path} ({format} format)");
+                }
+                None => {
+                    campaign
+                        .run(&mut accumulator)
+                        .expect("accumulator sink cannot fail");
+                }
+            }
+            if campaign.completed() {
+                Some(
+                    accumulator
+                        .finish()
+                        .expect("built-in scales produce assessable datasets"),
+                )
+            } else {
+                let summary = campaign.summary_so_far();
+                eprintln!(
+                    "halted after {} windows ({} records so far); continue with \
+                     --resume-from {} to finish and print the tables",
+                    summary.windows,
+                    summary.records,
+                    checkpoint_out.as_deref().unwrap_or("<checkpoint>")
+                );
+                None
+            }
+        } else {
+            Some(run_assessment_streaming_with(
+                scale,
+                seed,
+                threads,
+                obs.as_ref(),
+            ))
         };
         drop(heartbeat);
+        let Some(assessment) = assessment else {
+            if let (Some(path), Some(ins)) = (&metrics_out, &obs) {
+                if let Err(e) = metrics::write_metrics(path, ins) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        };
         if artifacts.contains("fig5") {
             println!("\n=== Fig. 5: fractional HD / HW distributions at the start ===\n");
             println!("{}", report::fig5_text(assessment.initial_quality(), 48));
@@ -246,7 +411,7 @@ fn fig3() {
     );
 }
 
-fn fig4(seed: u64) {
+fn fig4(seed: u64, out_dir: &str) {
     println!("\n=== Fig. 4: start-up pattern of board S0 (1 KB) ===\n");
     let mut rng = StdRng::seed_from_u64(seed);
     let profile = TechnologyProfile::atmega32u4();
@@ -260,9 +425,11 @@ fn fig4(seed: u64) {
         pattern.fractional_hamming_weight()
     );
     let image = visualize::pgm_image(&pattern, 128);
-    match std::fs::write("fig4_startup_pattern.pgm", &image) {
-        Ok(()) => println!("wrote fig4_startup_pattern.pgm ({} bytes)", image.len()),
-        Err(e) => eprintln!("could not write fig4_startup_pattern.pgm: {e}"),
+    let target = Path::new(out_dir).join("fig4_startup_pattern.pgm");
+    let write = std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&target, &image));
+    match write {
+        Ok(()) => println!("wrote {} ({} bytes)", target.display(), image.len()),
+        Err(e) => eprintln!("could not write {}: {e}", target.display()),
     }
 }
 

@@ -12,10 +12,14 @@ use pufassess::monthly::EvaluationProtocol;
 use pufassess::streaming::WindowAccumulator;
 use pufassess::Assessment;
 use pufobs::Instruments;
-use puftestbed::store::{BinarySink, JsonLinesSink, RecordFormat, RecordSink, TeeSink};
+use puftestbed::store::atomic::tmp_path;
+use puftestbed::store::{
+    AnyRecordReader, AtomicFile, BinarySink, JsonLinesSink, RecordFormat, RecordSink, TeeSink,
+};
 use puftestbed::{Campaign, CampaignConfig, Dataset, Record};
-use std::fs::File;
-use std::io::{self, BufWriter};
+use std::fs;
+use std::io::{self, BufReader, BufWriter};
+use std::path::{Path, PathBuf};
 
 /// How much of the paper's scale to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,26 +195,35 @@ pub fn run_assessment_streaming_recording<S: RecordSink>(
         .expect("built-in scales produce assessable datasets"))
 }
 
-/// A buffered file sink in either storage format — the shared `--format`
-/// plumbing for the CLI binaries.
+/// A buffered, atomically written file sink in either storage format — the
+/// shared `--format` plumbing for the CLI binaries.
+///
+/// Bytes stream into `<path>.tmp`; only [`finish`](Self::finish) renames
+/// them to the final path, so a crash mid-run never leaves a torn file
+/// under the final name (the `.tmp` is what the resume machinery salvages).
 #[derive(Debug)]
 pub enum FormatSink {
     /// Writing JSON lines.
-    Json(JsonLinesSink<BufWriter<File>>),
+    Json(JsonLinesSink<BufWriter<AtomicFile>>),
     /// Writing `pufrec/1` binary.
-    Binary(BinarySink<BufWriter<File>>),
+    Binary(BinarySink<BufWriter<AtomicFile>>),
 }
 
 impl FormatSink {
-    /// Creates `path` and wraps it in the sink for `format`.
-    /// `declared_bits` goes into the binary file header (advisory; pass the
-    /// campaign read width, or 0 when unknown or mixed).
+    /// Starts an atomic write to `path` and wraps it in the sink for
+    /// `format`. `declared_bits` goes into the binary file header
+    /// (advisory; pass the campaign read width, or 0 when unknown or
+    /// mixed).
     ///
     /// # Errors
     ///
     /// Returns the error from creating the file or writing the header.
-    pub fn create(path: &str, format: RecordFormat, declared_bits: u32) -> io::Result<Self> {
-        let file = BufWriter::new(File::create(path)?);
+    pub fn create(
+        path: impl AsRef<Path>,
+        format: RecordFormat,
+        declared_bits: u32,
+    ) -> io::Result<Self> {
+        let file = BufWriter::new(AtomicFile::create(path)?);
         Ok(match format {
             RecordFormat::Json => Self::Json(JsonLinesSink::new(file)),
             RecordFormat::Binary => {
@@ -227,17 +240,18 @@ impl FormatSink {
         }
     }
 
-    /// Flushes everything to disk.
+    /// Flushes everything and atomically publishes the file at its final
+    /// path.
     ///
     /// # Errors
     ///
-    /// Returns the flush error, if any.
+    /// Returns the first flush/sync/rename error.
     pub fn finish(self) -> io::Result<()> {
         match self {
             Self::Json(s) => s.into_inner()?.into_inner().map_err(|e| e.into_error())?,
             Self::Binary(s) => s.into_inner()?.into_inner().map_err(|e| e.into_error())?,
-        };
-        Ok(())
+        }
+        .persist()
     }
 }
 
@@ -248,6 +262,110 @@ impl RecordSink for FormatSink {
             Self::Binary(s) => s.record(record),
         }
     }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Json(s) => RecordSink::flush(s),
+            Self::Binary(s) => RecordSink::flush(s),
+        }
+    }
+}
+
+/// Reopens a campaign output file for a checkpoint resume.
+///
+/// The interrupted run left its records in `<path>.tmp` (unpersisted
+/// atomic write) or, if it got as far as finishing, in `path` itself; the
+/// checkpoint claims the first `expect` of them. This renames that partial
+/// file to `<path>.salvage`, re-encodes exactly `expect` records from it
+/// into a fresh [`FormatSink`] (the codecs are deterministic, so the
+/// re-encoded prefix is byte-identical to the original), optionally teeing
+/// each salvaged record into `also` (e.g. an assessment accumulator), and
+/// deletes the salvage file. The returned sink is positioned exactly where
+/// the checkpoint was taken.
+///
+/// With `expect == 0` there is nothing to salvage and this is just
+/// [`FormatSink::create`].
+///
+/// # Errors
+///
+/// Fails if no partial output exists, if it holds fewer than `expect`
+/// readable records (the checkpoint then claims data that was never made
+/// durable — resuming would corrupt the stream), or on any I/O error.
+pub fn reopen_for_resume(
+    path: &str,
+    format: RecordFormat,
+    declared_bits: u32,
+    expect: u64,
+    mut also: Option<&mut dyn RecordSink>,
+) -> io::Result<FormatSink> {
+    if expect == 0 {
+        return FormatSink::create(path, format, declared_bits);
+    }
+    let target = Path::new(path);
+    let salvage = salvage_path(target);
+    if !salvage.exists() {
+        let partial = [tmp_path(target), target.to_path_buf()]
+            .into_iter()
+            .find(|p| p.exists())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "cannot resume: checkpoint claims {expect} records but no partial \
+                         output exists at {path} (or its .tmp)"
+                    ),
+                )
+            })?;
+        fs::rename(&partial, &salvage)?;
+    }
+    let reader = AnyRecordReader::open(
+        BufReader::new(fs::File::open(&salvage)?),
+        1, // strictly in-order: torn bytes past the prefix must not surface early
+        256,
+        None,
+    )?;
+    let mut sink = FormatSink::create(path, format, declared_bits)?;
+    let mut recovered = 0u64;
+    for item in reader {
+        if recovered == expect {
+            break;
+        }
+        let record = item.map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "cannot resume: partial output {} is unreadable at record {recovered} \
+                     of the {expect} the checkpoint claims: {e}",
+                    salvage.display()
+                ),
+            )
+        })?;
+        sink.record(&record)?;
+        if let Some(other) = also.as_deref_mut() {
+            other.record(&record)?;
+        }
+        recovered += 1;
+    }
+    if recovered < expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "cannot resume: partial output {} holds {recovered} records, checkpoint \
+                 claims {expect}",
+                salvage.display()
+            ),
+        ));
+    }
+    fs::remove_file(&salvage)?;
+    Ok(sink)
+}
+
+/// Where [`reopen_for_resume`] parks the interrupted run's partial output
+/// while re-encoding it (`<target>.salvage`).
+pub fn salvage_path(target: &Path) -> PathBuf {
+    let mut name = target.as_os_str().to_os_string();
+    name.push(".salvage");
+    PathBuf::from(name)
 }
 
 /// Total power cycles a campaign at `config` will execute — the progress

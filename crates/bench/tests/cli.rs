@@ -91,8 +91,10 @@ fn assess_writes_csv_artifacts() {
 
 #[test]
 fn repro_smoke_produces_all_artifacts() {
+    let out_dir = temp_path("repro_out");
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["--scale", "smoke", "--all", "--seed", "5"])
+        .args(["--out-dir", out_dir.to_str().unwrap()])
         .current_dir(std::env::temp_dir())
         .output()
         .expect("repro runs");
@@ -112,7 +114,12 @@ fn repro_smoke_produces_all_artifacts() {
     ] {
         assert!(stdout.contains(artifact), "missing {artifact}");
     }
-    std::fs::remove_file(std::env::temp_dir().join("fig4_startup_pattern.pgm")).ok();
+    // The pgm lands under --out-dir, never in the working directory.
+    assert!(out_dir.join("fig4_startup_pattern.pgm").exists());
+    assert!(!std::env::temp_dir()
+        .join("fig4_startup_pattern.pgm")
+        .exists());
+    std::fs::remove_dir_all(&out_dir).ok();
 }
 
 #[test]

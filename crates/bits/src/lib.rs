@@ -27,10 +27,12 @@
 mod bitvec;
 mod counter;
 mod matrix;
+mod rng;
 
 pub use bitvec::{BitVec, Bytes, Iter};
 pub use counter::OnesCounter;
 pub use matrix::BitMatrix;
+pub use rng::PufRng;
 
 use std::error::Error;
 use std::fmt;

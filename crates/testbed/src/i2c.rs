@@ -159,6 +159,17 @@ pub fn decode_message(frames: &[Vec<u8>]) -> Result<Vec<u8>, TransferError> {
     Ok(payload)
 }
 
+/// The serializable counters of an [`I2cBus`] (for checkpointing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Total transactions attempted.
+    pub transactions: u64,
+    /// Transactions that failed (NAK or CRC).
+    pub failures: u64,
+    /// Payload bytes successfully delivered.
+    pub bytes_moved: u64,
+}
+
 /// Statistics and fault injection for one I2C bus segment.
 ///
 /// A bus carries messages between one master and its slaves. Fault rates are
@@ -259,6 +270,23 @@ impl I2cBus {
             Err(_) => self.failures += 1,
         }
         result
+    }
+
+    /// Snapshot of the bus counters (for checkpointing).
+    pub fn stats(&self) -> BusStats {
+        BusStats {
+            transactions: self.transactions,
+            failures: self.failures,
+            bytes_moved: self.bytes_moved,
+        }
+    }
+
+    /// Restores the bus counters from a snapshot. The fault rates are
+    /// configuration, not state, and are untouched.
+    pub fn restore_stats(&mut self, stats: BusStats) {
+        self.transactions = stats.transactions;
+        self.failures = stats.failures;
+        self.bytes_moved = stats.bytes_moved;
     }
 
     /// Total transactions attempted.
@@ -367,6 +395,24 @@ mod tests {
         let addr = Address::new(0x22).unwrap();
         let err = bus.transfer(addr, &[9u8; 64], &mut rng).unwrap_err();
         assert!(matches!(err, TransferError::CrcMismatch { .. }));
+    }
+
+    #[test]
+    fn stats_round_trip_preserves_the_counters() {
+        let mut bus = I2cBus::with_faults(0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let addr = Address::new(0x23).unwrap();
+        for _ in 0..50 {
+            let _ = bus.transfer(addr, &[1, 2, 3], &mut rng);
+        }
+        let stats = bus.stats();
+        assert_eq!(stats.transactions, 50);
+        let mut fresh = I2cBus::with_faults(0.5, 0.0);
+        fresh.restore_stats(stats);
+        assert_eq!(fresh.stats(), stats);
+        assert_eq!(fresh.transactions(), bus.transactions());
+        assert_eq!(fresh.failures(), bus.failures());
+        assert_eq!(fresh.bytes_moved(), bus.bytes_moved());
     }
 
     #[test]

@@ -57,9 +57,11 @@ mod waveform;
 
 mod campaign;
 
-pub use board::{BoardId, MasterBoard, SlaveBoard};
-pub use campaign::{board_stream_seed, Campaign, CampaignConfig, Dataset, MeasurementPlan};
+pub use board::{BoardId, MasterBoard, SlaveBoard, SlaveBoardState};
+pub use campaign::{
+    board_stream_seed, Campaign, CampaignConfig, CampaignSummary, Dataset, MeasurementPlan,
+};
 pub use power::PowerSwitch;
-pub use store::{Record, RecordSink};
+pub use store::{BoardState, CampaignState, CheckpointError, Record, RecordSink};
 pub use time::{CalendarDate, DateTime, Timestamp};
 pub use waveform::PowerWaveform;

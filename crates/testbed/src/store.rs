@@ -22,11 +22,15 @@ use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::str::FromStr;
 
+pub mod atomic;
 pub mod binary;
+pub mod checkpoint;
 pub mod json;
 pub mod reader;
 
+pub use atomic::AtomicFile;
 pub use binary::{BinaryRecordReader, BinarySink, FileHeader};
+pub use checkpoint::{BoardState, CampaignState, CheckpointError};
 use json::JsonValue;
 pub use reader::{ParallelRecordReader, DEFAULT_BATCH_LINES};
 
@@ -299,11 +303,28 @@ pub trait RecordSink {
     ///
     /// Returns an I/O error if persisting the record fails.
     fn record(&mut self, record: &Record) -> io::Result<()>;
+
+    /// Pushes every record accepted so far out of in-process buffers (a
+    /// durability barrier, not a finalizer — the sink stays usable). The
+    /// campaign calls this before writing a checkpoint, so a checkpoint's
+    /// record count never exceeds what the output actually holds. In-memory
+    /// sinks have nothing to push; the default is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if flushing fails.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 impl<S: RecordSink + ?Sized> RecordSink for &mut S {
     fn record(&mut self, record: &Record) -> io::Result<()> {
         (**self).record(record)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
     }
 }
 
@@ -331,6 +352,11 @@ impl<A: RecordSink, B: RecordSink> RecordSink for TeeSink<A, B> {
     fn record(&mut self, record: &Record) -> io::Result<()> {
         self.first.record(record)?;
         self.second.record(record)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.first.flush()?;
+        self.second.flush()
     }
 }
 
@@ -375,6 +401,10 @@ impl<W: Write> RecordSink for JsonLinesSink<W> {
         record.write_json_line(&mut self.writer, &mut self.scratch)?;
         self.written += 1;
         Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
     }
 }
 

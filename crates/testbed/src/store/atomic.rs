@@ -1,0 +1,170 @@
+//! Atomic file writes: temp-file-then-rename, so a crash never leaves a
+//! torn file under the final name.
+//!
+//! Every store writer (JSON lines, `pufrec/1`, `pufchk/1` checkpoints)
+//! writes through an [`AtomicFile`]: bytes stream into `<path>.tmp` in the
+//! same directory, and only [`persist`](AtomicFile::persist) — flush, sync,
+//! rename — makes them appear under the final name. Readers therefore never
+//! see a half-written file at the final path; an interrupted run leaves at
+//! most a `.tmp` that the resume machinery can salvage or ignore.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A file that becomes visible at its final path only on [`persist`].
+///
+/// Dropping an unpersisted `AtomicFile` removes the temporary file, so an
+/// error path cannot leave debris behind under either name.
+///
+/// [`persist`]: Self::persist
+///
+/// # Examples
+///
+/// ```no_run
+/// use puftestbed::store::AtomicFile;
+/// use std::io::Write;
+///
+/// let mut file = AtomicFile::create("out.jsonl")?;
+/// file.write_all(b"...records...")?;
+/// file.persist()?; // out.jsonl appears, complete, in one rename
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct AtomicFile {
+    file: Option<File>,
+    tmp: PathBuf,
+    target: PathBuf,
+}
+
+/// The temporary path an [`AtomicFile`] for `target` streams into
+/// (`<target>.tmp`, in the same directory so the final rename cannot cross
+/// filesystems).
+pub fn tmp_path(target: &Path) -> PathBuf {
+    let mut name = target.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+impl AtomicFile {
+    /// Starts an atomic write to `target`, creating (or truncating)
+    /// `<target>.tmp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the temporary file.
+    pub fn create(target: impl AsRef<Path>) -> io::Result<Self> {
+        let target = target.as_ref().to_path_buf();
+        let tmp = tmp_path(&target);
+        let file = File::create(&tmp)?;
+        Ok(Self {
+            file: Some(file),
+            tmp,
+            target,
+        })
+    }
+
+    /// The final path this file will appear at.
+    pub fn target(&self) -> &Path {
+        &self.target
+    }
+
+    /// Pushes buffered bytes to the OS so they survive the *process* dying
+    /// (durability against machine crash additionally needs the sync in
+    /// [`persist`](Self::persist)). The campaign calls this before writing
+    /// a checkpoint, so a checkpoint never claims records the output file
+    /// does not yet hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error, if any.
+    pub fn flush_os(&mut self) -> io::Result<()> {
+        self.file
+            .as_mut()
+            .expect("file present until persist")
+            .flush()
+    }
+
+    /// Completes the write: flush, sync, and rename the temporary file to
+    /// the final path in one atomic step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first flush/sync/rename error; on error the temporary
+    /// file is removed.
+    pub fn persist(mut self) -> io::Result<()> {
+        let mut file = self.file.take().expect("persist consumes the file once");
+        let result = file.flush().and_then(|()| file.sync_all());
+        drop(file);
+        result
+            .and_then(|()| fs::rename(&self.tmp, &self.target))
+            .inspect_err(|_| {
+                let _ = fs::remove_file(&self.tmp);
+            })
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file
+            .as_mut()
+            .expect("file present until persist")
+            .write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_os()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            // Unpersisted: abandon the write and clean up the temp file.
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_target(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pufchk_atomic_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn persist_makes_the_bytes_appear_atomically() {
+        let target = temp_target("persist");
+        let mut file = AtomicFile::create(&target).unwrap();
+        file.write_all(b"hello").unwrap();
+        assert!(!target.exists(), "target must not exist before persist");
+        assert!(tmp_path(&target).exists());
+        file.persist().unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"hello");
+        assert!(!tmp_path(&target).exists());
+        fs::remove_file(&target).unwrap();
+    }
+
+    #[test]
+    fn dropping_without_persist_leaves_nothing() {
+        let target = temp_target("drop");
+        let mut file = AtomicFile::create(&target).unwrap();
+        file.write_all(b"torn").unwrap();
+        drop(file);
+        assert!(!target.exists());
+        assert!(!tmp_path(&target).exists());
+    }
+
+    #[test]
+    fn persist_overwrites_a_previous_file() {
+        let target = temp_target("overwrite");
+        fs::write(&target, b"old").unwrap();
+        let mut file = AtomicFile::create(&target).unwrap();
+        file.write_all(b"new").unwrap();
+        file.persist().unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"new");
+        fs::remove_file(&target).unwrap();
+    }
+}

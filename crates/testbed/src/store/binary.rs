@@ -328,6 +328,10 @@ impl<W: Write> RecordSink for BinarySink<W> {
         self.written += 1;
         Ok(())
     }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
 }
 
 /// Iterator over records decoded from a `pufrec/1` stream by a pool of

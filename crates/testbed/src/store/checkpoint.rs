@@ -1,0 +1,718 @@
+//! `pufchk/1`: the versioned binary campaign-checkpoint format.
+//!
+//! A checkpoint captures the complete evolving state of a [`Campaign`] at a
+//! window boundary — per-board cell arrays, aging accumulators, RNG
+//! streams, bus counters, scheduler position, and summary counters — as one
+//! explicit value, [`CampaignState`]. Restoring it resumes the campaign
+//! bit-exactly: the record stream of an interrupted-then-resumed run is
+//! byte-identical to the uninterrupted run.
+//!
+//! # Wire format
+//!
+//! Same framing discipline as [`pufrec/1`](super::binary): magic, version,
+//! explicit length, CRC-32 (shared [`crc32`] implementation). All integers
+//! little-endian; floats as IEEE-754 bit patterns.
+//!
+//! ```text
+//! offset  size  field
+//! 0       6     magic "pufchk"
+//! 6       2     version (u16, = 1)
+//! 8       8     body length in bytes (u64)
+//! 16      n     body
+//! 16+n    4     CRC-32 (IEEE) over the body
+//! ```
+//!
+//! Body layout:
+//!
+//! ```text
+//! config_hash u64 · seed u64 · sim_clock i64 · next_window u32
+//! summary { windows u32 · records u64 · dropped u64 · retries u64 }
+//! board_count u32
+//! per board:
+//!   id u8 · cycles_completed u64
+//!   rng { key u64 · counter u64 }
+//!   bus { transactions u64 · failures u64 · bytes_moved u64 }
+//!   stress_age_years f64
+//!   cell_count u32 · per cell { mismatch f64 · drift_bias f64 }
+//! ```
+//!
+//! Decoding is strict: bad magic, an unsupported version, a truncated
+//! body, a CRC mismatch, or non-finite floats are all typed
+//! [`CheckpointError`]s — a checkpoint never half-loads.
+//!
+//! [`Campaign`]: crate::Campaign
+
+use super::binary::crc32;
+use crate::board::SlaveBoardState;
+use crate::campaign::{CampaignConfig, CampaignSummary, MeasurementPlan};
+use crate::i2c::BusStats;
+use crate::BoardId;
+use sramaging::AgingState;
+use sramcell::ArrayState;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 6] = *b"pufchk";
+
+/// Format version this module reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Header length in bytes (magic + version + body length).
+pub const HEADER_LEN: usize = 16;
+
+/// Sanity cap on the declared body length: a campaign state is dominated by
+/// 16 bytes/cell; 1 GiB covers thousands of paper-scale boards, so anything
+/// larger is a corrupt length field, not a real checkpoint.
+const MAX_BODY: u64 = 1 << 30;
+
+/// The complete serializable state of a campaign at a window boundary.
+///
+/// `config_hash` binds the state to the `(config, seed)` pair that produced
+/// it; [`Campaign::resume`](crate::Campaign::resume) refuses a state whose
+/// hash does not match the configuration it is given.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignState {
+    /// Hash of the producing `(config, seed)` pair ([`config_hash`]).
+    pub config_hash: u64,
+    /// The campaign seed (also covered by the hash; kept readable for
+    /// diagnostics).
+    pub seed: u64,
+    /// Simulation clock: the timestamp (seconds) of the next window to run,
+    /// or of the last window if the campaign completed.
+    pub sim_clock: i64,
+    /// Index of the next evaluation window to execute (months are 0-based;
+    /// `months + 1` means the campaign completed).
+    pub next_window: u32,
+    /// Summary counters accumulated so far.
+    pub summary: CampaignSummary,
+    /// Per-board states, in board-id order.
+    pub boards: Vec<BoardState>,
+}
+
+/// One board's slice of a [`CampaignState`]: the device state plus its
+/// shard-local RNG stream and bus counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardState {
+    /// The board's device state (cells, aging, cycle counter).
+    pub board: SlaveBoardState,
+    /// The shard RNG stream as `(key, counter)` ([`pufbits::PufRng`]).
+    pub rng: (u64, u64),
+    /// The shard's I2C bus counters.
+    pub bus: BusStats,
+}
+
+/// Error reading, validating, or resuming from a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file could not be read or written.
+    Io(io::Error),
+    /// The bytes are not a well-formed `pufchk` checkpoint (bad magic,
+    /// truncation, implausible length, CRC mismatch, non-finite floats).
+    Corrupt(String),
+    /// The file is a `pufchk` checkpoint of a version this build does not
+    /// read.
+    UnsupportedVersion(u16),
+    /// The checkpoint was produced by a different `(config, seed)` pair
+    /// than the resume attempt supplies.
+    ConfigMismatch {
+        /// Hash of the configuration the resume supplied.
+        expected: u64,
+        /// Hash stored in the checkpoint.
+        found: u64,
+    },
+    /// The checkpoint passed its CRC but is internally inconsistent with
+    /// the configuration (board count, cell counts, window index out of
+    /// range, …).
+    StateMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {VERSION})"
+                )
+            }
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint config mismatch: resume config/seed hash to {expected:016x}, \
+                 checkpoint was produced under {found:016x} — refusing to resume"
+            ),
+            CheckpointError::StateMismatch(msg) => {
+                write!(f, "checkpoint state mismatch: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for io::Error {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of the complete `(config, seed)` pair.
+///
+/// Every field of [`CampaignConfig`] — including every field of the
+/// technology profile and the optional environment — feeds the hash as
+/// canonical little-endian bytes, so *any* configuration difference
+/// (a changed fault rate, one more month, a recalibrated profile) makes a
+/// resume attempt fail loudly instead of silently splicing incompatible
+/// record streams.
+pub fn config_hash(config: &CampaignConfig, seed: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(b"pufchk-config/1");
+    h.u64(seed);
+    h.u64(config.boards as u64);
+    h.u64(config.sram_bits as u64);
+    h.u64(config.read_bits as u64);
+    let p = &config.profile;
+    h.bytes(p.name.as_bytes());
+    h.u64(p.name.len() as u64);
+    h.u64(u64::from(p.node_nm));
+    h.f64(p.vdd_v);
+    h.f64(p.temp_c);
+    h.f64(p.population.mu);
+    h.f64(p.population.sigma);
+    h.f64(p.noise_temp_coeff);
+    h.f64(p.noise_ramp_coeff);
+    h.f64(p.ramp_us);
+    h.f64(p.bti_prefactor);
+    h.f64(p.bti_exponent);
+    h.f64(p.bti_activation_ev);
+    h.f64(p.bti_voltage_gamma);
+    h.f64(p.device_bias_sigma);
+    h.f64(p.bti_bias_ratio);
+    match config.environment {
+        None => h.u64(0),
+        Some(env) => {
+            h.u64(1);
+            h.f64(env.temp_c);
+            h.f64(env.vdd_v);
+            h.f64(env.ramp_us);
+        }
+    }
+    h.u64(i64::from(config.start.year) as u64);
+    h.u64(u64::from(config.start.month));
+    h.u64(u64::from(config.start.day));
+    h.u64(u64::from(config.months));
+    h.u64(u64::from(config.reads_per_window));
+    h.u64(match config.plan {
+        MeasurementPlan::Windowed => 0,
+        MeasurementPlan::Continuous => 1,
+    });
+    h.u64(u64::from(config.aging_substeps_per_month));
+    h.f64(config.i2c_nack_rate);
+    h.f64(config.i2c_corruption_rate);
+    h.u64(u64::from(config.i2c_retries));
+    h.finish()
+}
+
+/// FNV-1a 64 over a canonical byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Encodes a campaign state into complete `pufchk/1` file bytes.
+pub fn encode(state: &CampaignState) -> Vec<u8> {
+    let cells: usize = state
+        .boards
+        .iter()
+        .map(|b| b.board.array.mismatch.len())
+        .sum();
+    let mut body = Vec::with_capacity(64 + state.boards.len() * 64 + cells * 16);
+    body.extend_from_slice(&state.config_hash.to_le_bytes());
+    body.extend_from_slice(&state.seed.to_le_bytes());
+    body.extend_from_slice(&state.sim_clock.to_le_bytes());
+    body.extend_from_slice(&state.next_window.to_le_bytes());
+    body.extend_from_slice(&state.summary.windows.to_le_bytes());
+    body.extend_from_slice(&state.summary.records.to_le_bytes());
+    body.extend_from_slice(&state.summary.dropped.to_le_bytes());
+    body.extend_from_slice(&state.summary.retries.to_le_bytes());
+    body.extend_from_slice(
+        &(u32::try_from(state.boards.len()).expect("board count fits u32")).to_le_bytes(),
+    );
+    for b in &state.boards {
+        body.push(b.board.id.0);
+        body.extend_from_slice(&b.board.cycles_completed.to_le_bytes());
+        body.extend_from_slice(&b.rng.0.to_le_bytes());
+        body.extend_from_slice(&b.rng.1.to_le_bytes());
+        body.extend_from_slice(&b.bus.transactions.to_le_bytes());
+        body.extend_from_slice(&b.bus.failures.to_le_bytes());
+        body.extend_from_slice(&b.bus.bytes_moved.to_le_bytes());
+        body.extend_from_slice(&b.board.aging.stress_age_years.to_bits().to_le_bytes());
+        let array = &b.board.array;
+        assert_eq!(
+            array.mismatch.len(),
+            array.drift_bias.len(),
+            "array state vectors must agree in length"
+        );
+        body.extend_from_slice(
+            &(u32::try_from(array.mismatch.len()).expect("cell count fits u32")).to_le_bytes(),
+        );
+        for (&m, &d) in array.mismatch.iter().zip(&array.drift_bias) {
+            body.extend_from_slice(&m.to_bits().to_le_bytes());
+            body.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Strict cursor over the checkpoint body: every read is bounds-checked and
+/// a short read is a typed truncation error.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(CheckpointError::Corrupt(format!(
+                "body truncated: needed {n} bytes at offset {}, body is {} bytes",
+                self.pos,
+                self.bytes.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, CheckpointError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64_finite(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        let v = f64::from_bits(self.u64()?);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(CheckpointError::Corrupt(format!("non-finite {what}: {v}")))
+        }
+    }
+}
+
+/// Decodes complete `pufchk/1` file bytes into a campaign state.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Corrupt`] on bad magic, truncation,
+/// implausible lengths, CRC mismatch, or non-finite floats, and
+/// [`CheckpointError::UnsupportedVersion`] on a version this build does not
+/// read. Never returns a partial state.
+pub fn decode(bytes: &[u8]) -> Result<CampaignState, CheckpointError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CheckpointError::Corrupt(format!(
+            "file too short for a header: {} bytes",
+            bytes.len()
+        )));
+    }
+    if bytes[..6] != MAGIC {
+        return Err(CheckpointError::Corrupt(
+            "bad magic (not a pufchk file)".into(),
+        ));
+    }
+    let version = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let body_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if body_len > MAX_BODY {
+        return Err(CheckpointError::Corrupt(format!(
+            "implausible body length {body_len}"
+        )));
+    }
+    let body_len = body_len as usize;
+    let expected_total = HEADER_LEN + body_len + 4;
+    if bytes.len() != expected_total {
+        return Err(CheckpointError::Corrupt(format!(
+            "file is {} bytes, header declares {expected_total}",
+            bytes.len()
+        )));
+    }
+    let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+    let stored_crc =
+        u32::from_le_bytes(bytes[HEADER_LEN + body_len..].try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored_crc != computed {
+        return Err(CheckpointError::Corrupt(format!(
+            "crc mismatch: stored {stored_crc:08x}, computed {computed:08x}"
+        )));
+    }
+
+    let mut c = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    let config_hash = c.u64()?;
+    let seed = c.u64()?;
+    let sim_clock = c.i64()?;
+    let next_window = c.u32()?;
+    let summary = CampaignSummary {
+        windows: c.u32()?,
+        records: c.u64()?,
+        dropped: c.u64()?,
+        retries: c.u64()?,
+    };
+    let board_count = c.u32()? as usize;
+    // Each board needs at least its fixed fields; a wild count cannot ask
+    // for more boards than the body could possibly hold.
+    if board_count > body.len() / 61 + 1 {
+        return Err(CheckpointError::Corrupt(format!(
+            "implausible board count {board_count} for a {} byte body",
+            body.len()
+        )));
+    }
+    let mut boards = Vec::with_capacity(board_count);
+    for _ in 0..board_count {
+        let id = BoardId(c.u8()?);
+        let cycles_completed = c.u64()?;
+        let rng = (c.u64()?, c.u64()?);
+        let bus = BusStats {
+            transactions: c.u64()?,
+            failures: c.u64()?,
+            bytes_moved: c.u64()?,
+        };
+        let stress_age_years = c.f64_finite("stress age")?;
+        if stress_age_years < 0.0 {
+            return Err(CheckpointError::Corrupt(format!(
+                "negative stress age {stress_age_years}"
+            )));
+        }
+        let cell_count = c.u32()? as usize;
+        if cell_count > (body.len() - c.pos) / 16 {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible cell count {cell_count} with {} body bytes left",
+                body.len() - c.pos
+            )));
+        }
+        let mut mismatch = Vec::with_capacity(cell_count);
+        let mut drift_bias = Vec::with_capacity(cell_count);
+        for _ in 0..cell_count {
+            mismatch.push(c.f64_finite("cell mismatch")?);
+            drift_bias.push(c.f64_finite("cell drift bias")?);
+        }
+        boards.push(BoardState {
+            board: SlaveBoardState {
+                id,
+                cycles_completed,
+                array: ArrayState {
+                    mismatch,
+                    drift_bias,
+                },
+                aging: AgingState { stress_age_years },
+            },
+            rng,
+            bus,
+        });
+    }
+    if c.pos != body.len() {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} trailing bytes after the last board",
+            body.len() - c.pos
+        )));
+    }
+    Ok(CampaignState {
+        config_hash,
+        seed,
+        sim_clock,
+        next_window,
+        summary,
+        boards,
+    })
+}
+
+/// Writes a checkpoint file atomically (temp-file-then-rename, synced):
+/// an interrupted write leaves the previous checkpoint — or nothing —
+/// under `path`, never a torn file. Returns the bytes written.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on any filesystem failure.
+pub fn write_file(path: &Path, state: &CampaignState) -> Result<u64, CheckpointError> {
+    let bytes = encode(state);
+    let mut file = super::AtomicFile::create(path)?;
+    file.write_all(&bytes)?;
+    file.persist()?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and fully validates a checkpoint file.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] if the file cannot be read, or the
+/// decoding errors of [`decode`].
+pub fn read_file(path: &Path) -> Result<CampaignState, CheckpointError> {
+    decode(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> CampaignState {
+        let boards = (0..3u8)
+            .map(|i| BoardState {
+                board: SlaveBoardState {
+                    id: BoardId(i),
+                    cycles_completed: 1000 + u64::from(i),
+                    array: ArrayState {
+                        mismatch: vec![1.25, -3.5, 0.0, f64::from(i)],
+                        drift_bias: vec![0.5, -0.25, 2.0, -1.0],
+                    },
+                    aging: AgingState {
+                        stress_age_years: 1.75,
+                    },
+                },
+                rng: (0xDEAD_BEEF + u64::from(i), 42),
+                bus: BusStats {
+                    transactions: 5000,
+                    failures: 3,
+                    bytes_moved: 640_000,
+                },
+            })
+            .collect();
+        CampaignState {
+            config_hash: 0x0123_4567_89AB_CDEF,
+            seed: 2017,
+            sim_clock: 1_486_512_000,
+            next_window: 7,
+            summary: CampaignSummary {
+                windows: 7,
+                records: 21_000,
+                dropped: 12,
+                retries: 30,
+            },
+            boards,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let state = sample_state();
+        let bytes = encode(&state);
+        assert_eq!(bytes[..6], MAGIC);
+        assert_eq!(decode(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let bytes = encode(&sample_state());
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode(&sample_state());
+        for len in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..len]).is_err(),
+                "truncation at {len} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_is_a_typed_error() {
+        let mut bytes = encode(&sample_state());
+        bytes[6..8].copy_from_slice(&99u16.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        let state = sample_state();
+        let bytes = encode(&state);
+        // Locate the first cell mismatch (1.25) and replace it with NaN.
+        let needle = 1.25f64.to_bits().to_le_bytes();
+        let pos = bytes
+            .windows(8)
+            .position(|w| w == needle)
+            .expect("mismatch bytes present");
+        let mut bad = bytes.clone();
+        bad[pos..pos + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        // Fix up the CRC so only the semantic check can catch it.
+        let body_len = bad.len() - HEADER_LEN - 4;
+        let crc = crc32(&bad[HEADER_LEN..HEADER_LEN + body_len]);
+        let crc_at = HEADER_LEN + body_len;
+        bad[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        let err = decode(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("non-finite"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn config_hash_sees_every_field() {
+        let base = CampaignConfig::default();
+        let seed = 7;
+        let h0 = config_hash(&base, seed);
+        assert_ne!(h0, config_hash(&base, 8), "seed must feed the hash");
+        let variations: Vec<CampaignConfig> = vec![
+            CampaignConfig {
+                boards: 15,
+                ..base.clone()
+            },
+            CampaignConfig {
+                sram_bits: 1024,
+                ..base.clone()
+            },
+            CampaignConfig {
+                read_bits: 1024,
+                ..base.clone()
+            },
+            CampaignConfig {
+                months: 23,
+                ..base.clone()
+            },
+            CampaignConfig {
+                reads_per_window: 999,
+                ..base.clone()
+            },
+            CampaignConfig {
+                plan: MeasurementPlan::Continuous,
+                ..base.clone()
+            },
+            CampaignConfig {
+                aging_substeps_per_month: 5,
+                ..base.clone()
+            },
+            CampaignConfig {
+                i2c_nack_rate: 0.01,
+                ..base.clone()
+            },
+            CampaignConfig {
+                i2c_corruption_rate: 0.01,
+                ..base.clone()
+            },
+            CampaignConfig {
+                i2c_retries: 4,
+                ..base.clone()
+            },
+            CampaignConfig {
+                start: crate::CalendarDate::new(2017, 2, 9),
+                ..base.clone()
+            },
+            CampaignConfig {
+                environment: Some(sramcell::Environment::nominal(&base.profile)),
+                ..base.clone()
+            },
+            CampaignConfig {
+                profile: sramcell::TechnologyProfile {
+                    bti_prefactor: base.profile.bti_prefactor * 1.01,
+                    ..base.profile.clone()
+                },
+                ..base.clone()
+            },
+        ];
+        for (i, v) in variations.iter().enumerate() {
+            assert_ne!(
+                config_hash(v, seed),
+                h0,
+                "variation {i} did not change the hash"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pufchk_test_{}.pufchk", std::process::id()));
+        let state = sample_state();
+        let bytes = write_file(&path, &state).unwrap();
+        assert!(bytes > 0);
+        assert!(!super::super::atomic::tmp_path(&path).exists());
+        assert_eq!(read_file(&path).unwrap(), state);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_file(Path::new("/nonexistent/nope.pufchk")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}
