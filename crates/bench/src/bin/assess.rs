@@ -1,6 +1,8 @@
 //! Analyses a record file (JSON lines or `pufrec/1` binary) with the
-//! paper's evaluation protocol: prints Table I, the Fig. 6 development
-//! summaries, and the fitted hidden-variable model of each device.
+//! paper's evaluation protocol: prints Table I, a coverage report (sparse
+//! device-months from brownouts or retry exhaustion are flagged, not
+//! averaged over silently), the Fig. 6 development summaries, and the
+//! fitted hidden-variable model of each device.
 //!
 //! Records stream from disk through a parallel parser straight into the
 //! bounded-memory window accumulator, so arbitrarily large record files
@@ -166,6 +168,35 @@ fn main() {
     });
 
     println!("=== Table I ===\n\n{}", assessment.table1().render());
+
+    // Coverage: say so when months are missing devices or starved of reads
+    // (brownouts, retry exhaustion) — the aggregates above silently shrink
+    // their sample otherwise.
+    let coverage = assessment.coverage();
+    if coverage.is_complete() {
+        println!(
+            "coverage: complete — {} devices × {} months\n",
+            coverage.expected_devices(),
+            coverage.months().len()
+        );
+    } else {
+        println!(
+            "coverage: {} of {} months sparse ({} devices expected)",
+            coverage.sparse_months().len(),
+            coverage.months().len(),
+            coverage.expected_devices()
+        );
+        for month in coverage.sparse_months() {
+            let (year, month_no) = month.year_month;
+            println!(
+                "  {year}-{month_no:02}: {} present, {} missing, {} underfilled",
+                month.devices_present,
+                month.missing_devices.len(),
+                month.underfilled_devices.len()
+            );
+        }
+        println!();
+    }
 
     println!("=== development summaries ===\n");
     for series in [Series::Wchd, Series::NoiseEntropy, Series::StableRatio] {

@@ -8,6 +8,7 @@
 //!          [--threads N] [--metrics-out FILE] [--verbose]
 //!          [--checkpoint-out FILE] [--checkpoint-every N]
 //!          [--resume-from FILE] [--halt-after-windows N]
+//!          [--faults FILE] [--max-retries N]
 //! ```
 //!
 //! `--format json` (the default) writes the paper's JSON lines; `--format
@@ -25,11 +26,17 @@
 //! config hash is verified) — and produces a record file byte-identical to
 //! the uninterrupted run. `--halt-after-windows` stops the run early while
 //! keeping it resumable (an in-process interruption drill).
+//!
+//! `--faults FILE` loads a JSON fault plan (brownouts, I2C bursts, stuck
+//! cells, clock skew — see `puftestbed::faults`) and injects it
+//! deterministically: the same seed and plan produce byte-identical records
+//! for any `--threads`, and through checkpoint/resume. `--max-retries N`
+//! bounds the transport retry budget before a read is dropped as a gap.
 
 use pufbench::{campaign_total_cycles, metrics, reopen_for_resume, FormatSink};
 use pufobs::Instruments;
 use puftestbed::store::{checkpoint, RecordFormat};
-use puftestbed::{Campaign, CampaignConfig};
+use puftestbed::{Campaign, CampaignConfig, FaultPlan};
 use std::path::Path;
 use std::process::exit;
 
@@ -45,6 +52,7 @@ fn main() {
     let mut checkpoint_every: u32 = 0;
     let mut resume_from: Option<String> = None;
     let mut halt_after: Option<u32> = None;
+    let mut faults_from: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -80,13 +88,16 @@ fn main() {
             "--checkpoint-every" => checkpoint_every = parse(value(), "--checkpoint-every"),
             "--resume-from" => resume_from = Some(value().clone()),
             "--halt-after-windows" => halt_after = Some(parse(value(), "--halt-after-windows")),
+            "--faults" => faults_from = Some(value().clone()),
+            "--max-retries" => config.i2c_retries = parse(value(), "--max-retries"),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign --out FILE [--format json|binary] [--boards N] \
                      [--months N] [--reads N] [--read-bits N] [--seed N] [--nack-rate P] \
                      [--threads N] [--metrics-out FILE] [--verbose] \
                      [--checkpoint-out FILE] [--checkpoint-every N] \
-                     [--resume-from FILE] [--halt-after-windows N]"
+                     [--resume-from FILE] [--halt-after-windows N] \
+                     [--faults FILE] [--max-retries N]"
                 );
                 return;
             }
@@ -107,6 +118,15 @@ fn main() {
     if checkpoint_out.is_some() && checkpoint_every == 0 {
         checkpoint_every = 1;
     }
+    // The fault plan is part of the campaign's identity (its hash feeds the
+    // checkpoint config hash), so load it before any resume validation.
+    if let Some(path) = &faults_from {
+        config.faults = FaultPlan::load(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot load fault plan {path}: {e}");
+            exit(1);
+        });
+    }
+    let has_faults = !config.faults.is_empty();
 
     eprintln!(
         "campaign: {} boards × {} months × {} reads/window × {} bits → {out} \
@@ -172,6 +192,21 @@ fn main() {
     if let Err(e) = sink.finish() {
         eprintln!("flush failed: {e}");
         exit(1);
+    }
+    if has_faults {
+        let tally = campaign.fault_tally();
+        eprintln!(
+            "faults: {} browned-out windows ({} missed power-ups), \
+             {} injected NACKs, {} injected corruptions, {} stuck forcings, \
+             {} ms simulated backoff, {} gap records",
+            tally.browned_out_windows,
+            tally.missed_power_ups,
+            tally.injected_nacks,
+            tally.injected_corruptions,
+            tally.stuck_cells_forced,
+            tally.retry_backoff_ms,
+            campaign.gap_records().len()
+        );
     }
     if campaign.completed() {
         eprintln!(

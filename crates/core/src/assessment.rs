@@ -73,6 +73,9 @@ pub struct DeviceMonth {
     pub year_month: (i32, u8),
     /// Zero-based month index since the campaign start.
     pub month_index: u32,
+    /// Measurements captured in the window (at most
+    /// `protocol.reads_per_window`; fewer marks an underfilled window).
+    pub reads: u32,
     /// Average FHD of the window's read-outs vs the device's month-zero
     /// reference (Fig. 6a).
     pub wchd: f64,
@@ -106,6 +109,151 @@ pub struct MonthlyAggregate {
     pub puf_entropy: f64,
 }
 
+/// Data coverage of one assessed month: which devices reported, how much
+/// data they contributed, and which expected devices are missing or
+/// underfilled. A faulted campaign (brownouts, exhausted retries) leaves
+/// holes that used to be averaged over silently; coverage makes every hole
+/// visible so sparse months can be flagged instead of trusted blindly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonthCoverage {
+    /// Zero-based month index.
+    pub month_index: u32,
+    /// Calendar month `(year, month)`.
+    pub year_month: (i32, u8),
+    /// Devices with a window this month.
+    pub devices_present: usize,
+    /// Total measurements folded into this month across devices.
+    pub reads: u64,
+    /// Devices seen elsewhere in the campaign but absent this month
+    /// (e.g. browned out through the whole evaluation window).
+    pub missing_devices: Vec<BoardId>,
+    /// Devices present but with fewer than `reads_per_window` measurements
+    /// (e.g. transport retries exhausted mid-window).
+    pub underfilled_devices: Vec<BoardId>,
+}
+
+impl MonthCoverage {
+    /// `true` if this month's aggregates rest on degraded data: a device is
+    /// missing or underfilled, or fewer than two devices reported (making
+    /// the uniqueness columns undefined placeholders).
+    pub fn is_sparse(&self) -> bool {
+        !self.missing_devices.is_empty()
+            || !self.underfilled_devices.is_empty()
+            || self.devices_present < 2
+    }
+}
+
+/// Per-month coverage accounting for a whole assessment.
+///
+/// # Examples
+///
+/// ```
+/// use pufassess::{Assessment, EvaluationProtocol};
+/// use puftestbed::{Campaign, CampaignConfig};
+///
+/// let config = CampaignConfig {
+///     boards: 3, sram_bits: 128, read_bits: 128, months: 1, reads_per_window: 8,
+///     ..CampaignConfig::default()
+/// };
+/// let dataset = Campaign::new(config, 2).run_in_memory();
+/// let protocol = EvaluationProtocol { reads_per_window: 8, ..EvaluationProtocol::default() };
+/// let a = Assessment::from_dataset(&dataset, &protocol).unwrap();
+/// assert!(a.coverage().is_complete());
+/// assert!(a.coverage().sparse_months().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    expected_devices: usize,
+    expected_reads: u32,
+    months: Vec<MonthCoverage>,
+}
+
+impl CoverageReport {
+    fn compute(protocol: &EvaluationProtocol, device_months: &[DeviceMonth]) -> Self {
+        let mut devices: Vec<BoardId> = device_months.iter().map(|d| d.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let mut keys: Vec<(u32, (i32, u8))> = device_months
+            .iter()
+            .map(|d| (d.month_index, d.year_month))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let months = keys
+            .into_iter()
+            .map(|(month_index, year_month)| {
+                let of_month: Vec<&DeviceMonth> = device_months
+                    .iter()
+                    .filter(|d| d.month_index == month_index)
+                    .collect();
+                let missing_devices = devices
+                    .iter()
+                    .copied()
+                    .filter(|id| of_month.iter().all(|d| d.device != *id))
+                    .collect();
+                let underfilled_devices = of_month
+                    .iter()
+                    .filter(|d| d.reads < protocol.reads_per_window)
+                    .map(|d| d.device)
+                    .collect();
+                MonthCoverage {
+                    month_index,
+                    year_month,
+                    devices_present: of_month.len(),
+                    reads: of_month.iter().map(|d| u64::from(d.reads)).sum(),
+                    missing_devices,
+                    underfilled_devices,
+                }
+            })
+            .collect();
+        Self {
+            expected_devices: devices.len(),
+            expected_reads: protocol.reads_per_window,
+            months,
+        }
+    }
+
+    /// Devices expected per month (the union of devices seen anywhere).
+    pub fn expected_devices(&self) -> usize {
+        self.expected_devices
+    }
+
+    /// Full measurements expected per device-month.
+    pub fn expected_reads(&self) -> u32 {
+        self.expected_reads
+    }
+
+    /// Per-month coverage, in month order.
+    pub fn months(&self) -> &[MonthCoverage] {
+        &self.months
+    }
+
+    /// The months whose aggregates rest on degraded data.
+    pub fn sparse_months(&self) -> Vec<&MonthCoverage> {
+        self.months.iter().filter(|m| m.is_sparse()).collect()
+    }
+
+    /// `true` if every month has every device with a full window.
+    pub fn is_complete(&self) -> bool {
+        self.months.iter().all(|m| !m.is_sparse())
+    }
+}
+
+/// Cross-device uniqueness of one month's first read-outs: the BCHD summary
+/// and the PUF min-entropy. A month where fewer than two devices reported
+/// has no device pairs, so its uniqueness is returned as the defined
+/// placeholder `(Summary::empty(), 0.0)` — flagged via
+/// [`MonthCoverage::is_sparse`] — instead of panicking or emitting NaN.
+pub(crate) fn month_uniqueness(firsts: &BitMatrix) -> (Summary, f64) {
+    if firsts.rows() < 2 {
+        return (Summary::empty(), 0.0);
+    }
+    (
+        Summary::of(crate::metrics::between_class_hds(firsts)),
+        puf_entropy(firsts),
+    )
+}
+
 /// The complete long-term assessment of one campaign.
 ///
 /// See the crate-level example for usage.
@@ -115,6 +263,7 @@ pub struct Assessment {
     device_months: Vec<DeviceMonth>,
     aggregates: Vec<MonthlyAggregate>,
     initial_quality: InitialQuality,
+    coverage: CoverageReport,
 }
 
 impl Assessment {
@@ -186,6 +335,7 @@ impl Assessment {
                 device: w.device,
                 year_month: w.year_month,
                 month_index: month_index[&w.year_month],
+                reads: w.reads(),
                 wchd: within_class_hd(&w.readouts, reference),
                 fhw: crate::metrics::fractional_hw(&w.readouts),
                 noise_entropy: noise_entropy(&w.counter),
@@ -203,7 +353,7 @@ impl Assessment {
             let month_windows: Vec<&MonthlyWindow> =
                 windows.iter().filter(|w| w.year_month == ym).collect();
             let firsts: BitMatrix = month_windows.iter().map(|w| w.first_read.clone()).collect();
-            let bchd_samples = crate::metrics::between_class_hds(&firsts);
+            let (bchd, month_puf_entropy) = month_uniqueness(&firsts);
             aggregates.push(MonthlyAggregate {
                 month_index: month_index[&ym],
                 year_month: ym,
@@ -211,8 +361,8 @@ impl Assessment {
                 fhw: Summary::of(of_month.iter().map(|d| d.fhw)),
                 noise_entropy: Summary::of(of_month.iter().map(|d| d.noise_entropy)),
                 stable_ratio: Summary::of(of_month.iter().map(|d| d.stable_ratio)),
-                bchd: Summary::of(bchd_samples),
-                puf_entropy: puf_entropy(&firsts),
+                bchd,
+                puf_entropy: month_puf_entropy,
             });
         }
 
@@ -224,12 +374,12 @@ impl Assessment {
             .collect();
         let initial_quality = InitialQuality::evaluate(&first_windows);
 
-        Ok(Self {
-            protocol: *protocol,
+        Ok(Self::from_parts(
+            *protocol,
             device_months,
             aggregates,
             initial_quality,
-        })
+        ))
     }
 
     /// Runs the evaluation protocol over a record *stream* in bounded
@@ -257,19 +407,22 @@ impl Assessment {
         accumulator.finish()
     }
 
-    /// Assembles an assessment from already-computed parts (the streaming
-    /// accumulator's finalizer).
+    /// Assembles an assessment from already-computed parts. Both the
+    /// in-memory and streaming paths finish here, so derived state like the
+    /// coverage report is computed once and can never diverge between them.
     pub(crate) fn from_parts(
         protocol: EvaluationProtocol,
         device_months: Vec<DeviceMonth>,
         aggregates: Vec<MonthlyAggregate>,
         initial_quality: InitialQuality,
     ) -> Self {
+        let coverage = CoverageReport::compute(&protocol, &device_months);
         Self {
             protocol,
             device_months,
             aggregates,
             initial_quality,
+            coverage,
         }
     }
 
@@ -315,6 +468,13 @@ impl Assessment {
     /// The Fig. 5 start-of-test quality bundle.
     pub fn initial_quality(&self) -> &InitialQuality {
         &self.initial_quality
+    }
+
+    /// Per-(device, month) coverage accounting: missing and underfilled
+    /// device-months, so sparse data is flagged instead of silently
+    /// averaged.
+    pub fn coverage(&self) -> &CoverageReport {
+        &self.coverage
     }
 
     /// Condenses the assessment into the paper's Table I.
@@ -401,6 +561,25 @@ mod tests {
         // Uniqueness flat.
         assert!((last.fhw.mean - first.fhw.mean).abs() < 0.01);
         assert!((last.puf_entropy - first.puf_entropy).abs() < 0.05);
+    }
+
+    #[test]
+    fn complete_campaign_has_complete_coverage() {
+        let dataset = small_campaign(2, 3, 55);
+        let a = Assessment::from_dataset(&dataset, &protocol()).unwrap();
+        let cov = a.coverage();
+        assert!(cov.is_complete());
+        assert!(cov.sparse_months().is_empty());
+        assert_eq!(cov.expected_devices(), 3);
+        assert_eq!(cov.expected_reads(), 40);
+        assert_eq!(cov.months().len(), 3);
+        for m in cov.months() {
+            assert_eq!(m.devices_present, 3);
+            assert_eq!(m.reads, 3 * 40);
+            assert!(m.missing_devices.is_empty());
+            assert!(m.underfilled_devices.is_empty());
+            assert!(!m.is_sparse());
+        }
     }
 
     #[test]

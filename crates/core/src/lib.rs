@@ -56,7 +56,7 @@ pub mod streaming;
 pub mod table1;
 pub mod visualize;
 
-pub use assessment::Assessment;
+pub use assessment::{AssessError, Assessment, CoverageReport, MonthCoverage};
 pub use monthly::EvaluationProtocol;
 pub use streaming::WindowAccumulator;
 pub use table1::Table1;

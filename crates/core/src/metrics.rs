@@ -124,13 +124,22 @@ impl InitialQuality {
         bchd_samples: Vec<f64>,
         fhw_samples: Vec<f64>,
     ) -> Self {
+        // An empty sample set (degenerate input, e.g. no device pairs) gets
+        // the defined zero placeholder instead of a panic or NaN summary.
+        let summarize = |samples: &[f64]| {
+            if samples.is_empty() {
+                Summary::empty()
+            } else {
+                Summary::of(samples.iter().copied())
+            }
+        };
         Self {
             wchd: Histogram::of(0.0, 1.0, Self::BINS, wchd_samples.iter().copied()),
             bchd: Histogram::of(0.0, 1.0, Self::BINS, bchd_samples.iter().copied()),
             fhw: Histogram::of(0.0, 1.0, Self::BINS, fhw_samples.iter().copied()),
-            wchd_summary: Summary::of(wchd_samples),
-            bchd_summary: Summary::of(bchd_samples),
-            fhw_summary: Summary::of(fhw_samples),
+            wchd_summary: summarize(&wchd_samples),
+            bchd_summary: summarize(&bchd_samples),
+            fhw_summary: summarize(&fhw_samples),
         }
     }
 }
@@ -199,6 +208,16 @@ mod tests {
     #[should_panic(expected = "at least two devices")]
     fn fig5_requires_two_devices() {
         InitialQuality::evaluate(&[device_window(0, 3, 64)]);
+    }
+
+    #[test]
+    fn from_samples_tolerates_empty_sample_sets() {
+        let q = InitialQuality::from_samples(vec![0.1, 0.2], Vec::new(), Vec::new());
+        assert_eq!(q.wchd_summary.n, 2);
+        assert_eq!(q.bchd_summary, Summary::empty());
+        assert_eq!(q.fhw_summary, Summary::empty());
+        assert_eq!(q.bchd.total(), 0);
+        assert!(q.bchd_summary.mean.is_finite());
     }
 
     #[test]

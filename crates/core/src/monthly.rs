@@ -102,6 +102,19 @@ pub struct WindowSelection {
     pub skipped_width_mismatch: u64,
 }
 
+/// The evaluation day clamped into month `(year, month)`.
+///
+/// The paper evaluates on the 8th, which every month has; a protocol asking
+/// for day 29–31 would otherwise name a date that does not exist in short
+/// months (no window could ever open in February), and
+/// [`window_open`] would panic constructing it. Clamping to the month's last
+/// day keeps every month evaluable and is a no-op for day ≤ 28.
+pub(crate) fn effective_eval_day(protocol: &EvaluationProtocol, year: i32, month: u8) -> u8 {
+    protocol
+        .eval_day
+        .clamp(1, puftestbed::days_in_month(year, month))
+}
+
 /// [`select_windows`] with skip accounting: a record whose width disagrees
 /// with its window's established width is counted and dropped instead of
 /// aborting the assessment.
@@ -111,10 +124,19 @@ pub fn select_windows_counted(
 ) -> WindowSelection {
     let mut windows: BTreeMap<(u8, i32, u8), MonthlyWindow> = BTreeMap::new();
     let mut skipped_width_mismatch = 0u64;
+    // A zero-read protocol selects nothing: opening empty windows would feed
+    // 0-row matrices (and 0/0 averages) to every metric downstream.
+    if protocol.reads_per_window == 0 {
+        return WindowSelection {
+            windows: Vec::new(),
+            skipped_width_mismatch,
+        };
+    }
     for record in records {
         let dt = record.timestamp.datetime();
-        // Eligibility: at or after midnight of the evaluation day.
-        if dt.date.day < protocol.eval_day {
+        // Eligibility: at or after midnight of the evaluation day (clamped
+        // into the month, so short months still open a window).
+        if dt.date.day < effective_eval_day(protocol, dt.date.year, dt.date.month) {
             continue;
         }
         let key = (record.device.0, dt.date.year, dt.date.month);
@@ -156,11 +178,15 @@ pub fn month_keys(windows: &[MonthlyWindow]) -> Vec<(i32, u8)> {
 }
 
 /// Midnight opening the evaluation window of month `(year, month)`.
+///
+/// The evaluation day is clamped into the month, so e.g. an `eval_day` of 30
+/// opens February's window on the 28th (or 29th) instead of panicking on a
+/// date that does not exist.
 pub fn window_open(protocol: &EvaluationProtocol, year: i32, month: u8) -> Timestamp {
     Timestamp::from_date(puftestbed::CalendarDate::new(
         year,
         month,
-        protocol.eval_day,
+        effective_eval_day(protocol, year, month),
     ))
 }
 
@@ -236,6 +262,73 @@ mod tests {
     #[test]
     fn empty_stream_yields_no_windows() {
         assert!(select_windows(&[], &EvaluationProtocol::default()).is_empty());
+    }
+
+    #[test]
+    fn exact_midnight_of_the_eval_day_is_inclusive() {
+        // The boundary itself belongs to the window ("after midnight on the
+        // 8th" includes 00:00:00 of the 8th); one second before it does not.
+        let protocol = EvaluationProtocol::default();
+        let records = vec![
+            record_at(0, 0, CalendarDate::new(2017, 2, 7), 86_399.0, 0xF0),
+            record_at(0, 1, CalendarDate::new(2017, 2, 8), 0.0, 0x0F),
+        ];
+        let windows = select_windows(&records, &protocol);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].reads(), 1);
+        assert_eq!(windows[0].first_read, BitVec::from_bytes(&[0x0F]));
+    }
+
+    #[test]
+    fn eval_day_beyond_the_month_clamps_to_its_last_day() {
+        // Day 30 does not exist in February 2017 — the window must clamp to
+        // the 28th rather than never opening (or panicking in window_open).
+        let protocol = EvaluationProtocol {
+            reads_per_window: 10,
+            eval_day: 30,
+        };
+        let records = vec![
+            record_at(0, 0, CalendarDate::new(2017, 2, 27), 0.0, 0x01),
+            record_at(0, 1, CalendarDate::new(2017, 2, 28), 0.0, 0x02),
+            record_at(0, 2, CalendarDate::new(2017, 3, 30), 0.0, 0x03),
+        ];
+        let windows = select_windows(&records, &protocol);
+        assert_eq!(month_keys(&windows), vec![(2017, 2), (2017, 3)]);
+        assert_eq!(windows[0].first_read, BitVec::from_bytes(&[0x02]));
+        assert_eq!(
+            window_open(&protocol, 2017, 2),
+            Timestamp::from_date(CalendarDate::new(2017, 2, 28))
+        );
+        assert_eq!(
+            window_open(&protocol, 2016, 2),
+            Timestamp::from_date(CalendarDate::new(2016, 2, 29))
+        );
+    }
+
+    #[test]
+    fn zero_reads_per_window_selects_nothing() {
+        let protocol = EvaluationProtocol {
+            reads_per_window: 0,
+            eval_day: 8,
+        };
+        let records = vec![record_at(0, 0, CalendarDate::new(2017, 2, 8), 0.0, 0x01)];
+        assert!(select_windows(&records, &protocol).is_empty());
+    }
+
+    #[test]
+    fn months_with_no_eligible_records_leave_a_gap_not_a_window() {
+        // A device dark through an entire month (e.g. a brownout) simply has
+        // no window for it — the month key is absent, never an empty window.
+        let protocol = EvaluationProtocol::default();
+        let records = vec![
+            record_at(0, 0, CalendarDate::new(2017, 2, 8), 0.0, 1),
+            // All of March falls before the eval day: ineligible.
+            record_at(0, 1, CalendarDate::new(2017, 3, 7), 0.0, 2),
+            record_at(0, 2, CalendarDate::new(2017, 4, 8), 0.0, 3),
+        ];
+        let windows = select_windows(&records, &protocol);
+        assert_eq!(month_keys(&windows), vec![(2017, 2), (2017, 4)]);
+        assert!(windows.iter().all(|w| w.reads() == 1));
     }
 
     #[test]

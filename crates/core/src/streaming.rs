@@ -33,7 +33,7 @@
 //! ```
 
 use crate::assessment::{AssessError, Assessment, DeviceMonth, MonthlyAggregate};
-use crate::entropy::{noise_entropy, puf_entropy, stable_cell_ratio};
+use crate::entropy::{noise_entropy, stable_cell_ratio};
 use crate::metrics::InitialQuality;
 use crate::monthly::EvaluationProtocol;
 use pufbits::{BitMatrix, BitVec, OnesCounter};
@@ -215,7 +215,15 @@ impl WindowAccumulator {
             o.seen.inc();
         }
         let dt = record.timestamp.datetime();
-        if dt.date.day < self.protocol.eval_day {
+        // Mirror `select_windows_counted`: a zero-read protocol selects
+        // nothing, and the evaluation day is clamped into short months.
+        if self.protocol.reads_per_window == 0 {
+            self.count_skip();
+            return;
+        }
+        if dt.date.day
+            < crate::monthly::effective_eval_day(&self.protocol, dt.date.year, dt.date.month)
+        {
             self.count_skip();
             return;
         }
@@ -375,11 +383,15 @@ impl WindowAccumulator {
 
         let mut device_months = Vec::with_capacity(self.windows.len());
         for w in self.windows.values() {
+            // A window only exists once a record folded into it (the cap
+            // check precedes opening for zero-read protocols), so the
+            // division is never 0/0.
             let reads = f64::from(w.counter.observations());
             device_months.push(DeviceMonth {
                 device: w.device,
                 year_month: w.year_month,
                 month_index: month_index[&w.year_month],
+                reads: w.counter.observations(),
                 wchd: w.wchd_sum / reads,
                 fhw: w.fhw_sum / reads,
                 noise_entropy: noise_entropy(&w.counter),
@@ -399,7 +411,7 @@ impl WindowAccumulator {
                 .filter(|w| w.year_month == ym)
                 .map(|w| w.first_read.clone())
                 .collect();
-            let bchd_samples = crate::metrics::between_class_hds(&firsts);
+            let (bchd, month_puf_entropy) = crate::assessment::month_uniqueness(&firsts);
             aggregates.push(MonthlyAggregate {
                 month_index: month_index[&ym],
                 year_month: ym,
@@ -407,8 +419,8 @@ impl WindowAccumulator {
                 fhw: Summary::of(of_month.iter().map(|d| d.fhw)),
                 noise_entropy: Summary::of(of_month.iter().map(|d| d.noise_entropy)),
                 stable_ratio: Summary::of(of_month.iter().map(|d| d.stable_ratio)),
-                bchd: Summary::of(bchd_samples),
-                puf_entropy: puf_entropy(&firsts),
+                bchd,
+                puf_entropy: month_puf_entropy,
             });
         }
 

@@ -155,6 +155,32 @@ impl Summary {
     pub fn of<I: IntoIterator<Item = f64>>(values: I) -> Self {
         values.into_iter().collect::<Accumulator>().summary()
     }
+
+    /// The defined summary of *no* observations: `n == 0` with every
+    /// statistic finite and zero.
+    ///
+    /// Aggregation layers use this as the placeholder for months whose
+    /// sample set is empty (e.g. a single surviving device has no
+    /// between-class distances), so degenerate inputs yield flagged
+    /// zeros instead of NaN poisoning downstream means.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = pufstats::Summary::empty();
+    /// assert_eq!(s.n, 0);
+    /// assert_eq!(s.mean, 0.0);
+    /// ```
+    pub fn empty() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            variance: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
 }
 
 impl fmt::Display for Summary {
@@ -224,5 +250,15 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!Summary::of([1.0]).to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_summary_is_all_finite_zeros() {
+        let s = Summary::empty();
+        assert_eq!(s.n, 0);
+        for v in [s.mean, s.variance, s.std_dev, s.min, s.max] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
     }
 }

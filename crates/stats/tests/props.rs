@@ -66,7 +66,7 @@ proptest! {
     #[test]
     fn wilson_always_contains_the_point_estimate(successes in 0u64..500, extra in 0u64..500) {
         let n = successes + extra + 1;
-        let interval = ci::wilson(successes, n, 0.95);
+        let interval = ci::wilson(successes, n, 0.95).unwrap();
         let p_hat = successes as f64 / n as f64;
         prop_assert!(interval.contains(p_hat), "{interval:?} vs {p_hat}");
         prop_assert!(interval.lo >= 0.0 && interval.hi <= 1.0);

@@ -29,6 +29,7 @@
 //! file does not hold.
 
 use crate::board::{BoardId, SlaveBoard};
+use crate::faults::{self, FaultChannel, FaultPlan, FaultTally, GapCause, GapRecord};
 use crate::i2c::{Address, I2cBus};
 use crate::schedule::READOUT_DELAY_S;
 use crate::store::checkpoint::{self, BoardState, CampaignState, CheckpointError};
@@ -102,6 +103,10 @@ pub struct CampaignConfig {
     pub i2c_corruption_rate: f64,
     /// Transport retries before a read-out is dropped.
     pub i2c_retries: u32,
+    /// Deterministic fault schedule (brownouts, I2C bursts, stuck cells,
+    /// clock skew). The default empty plan takes none of the fault paths —
+    /// record output is byte-identical to a campaign without a plan.
+    pub faults: FaultPlan,
 }
 
 impl Default for CampaignConfig {
@@ -120,6 +125,7 @@ impl Default for CampaignConfig {
             i2c_nack_rate: 0.0,
             i2c_corruption_rate: 0.0,
             i2c_retries: 3,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -175,6 +181,11 @@ pub struct Campaign {
     /// Stop `run` after this many windows *in that call* (for tests and
     /// interruption drills; `None` = run to completion).
     halt_after: Option<u32>,
+    /// What the fault layer did in this process. Recomputable from
+    /// `(config, seed, plan)`, so deliberately not checkpointed.
+    tally: FaultTally,
+    /// Gaps opened in the record stream (brownouts, exhausted retries).
+    gaps: Vec<GapRecord>,
 }
 
 /// Pre-registered handles for the campaign's instrument points. All
@@ -203,6 +214,22 @@ struct CampaignInstruments {
     shard_window_ns: Histogram,
     /// `campaign.boardNN.power_cycles`, indexed by board id.
     board_cycles: Vec<Counter>,
+    /// `faults.browned_out_windows` — `(board, window)` pairs lost whole.
+    faults_browned_out: Counter,
+    /// `faults.missed_power_ups` — power-ups skipped by brownouts.
+    faults_missed_power_ups: Counter,
+    /// `faults.injected_nacks` — transfer attempts failed by injected NACKs.
+    faults_injected_nacks: Counter,
+    /// `faults.injected_corruptions` — attempts failed by injected corruption.
+    faults_injected_corruptions: Counter,
+    /// `faults.stuck_cells_forced` — stuck-cell forcings (cells × reads).
+    faults_stuck_cells: Counter,
+    /// `retry.attempts` — transport retries (same feed as `campaign.retries`).
+    retry_attempts: Counter,
+    /// `retry.exhausted` — read-outs dropped after the retry budget ran out.
+    retry_exhausted: Counter,
+    /// `retry.backoff_ms` — simulated retry backoff accumulated.
+    retry_backoff_ms: Counter,
     /// `checkpoint.writes` — checkpoint files written.
     checkpoint_writes: Counter,
     /// `checkpoint.bytes_written` — total checkpoint bytes written.
@@ -228,6 +255,14 @@ impl CampaignInstruments {
             board_cycles: (0..boards)
                 .map(|i| ins.counter(&format!("campaign.board{i:02}.power_cycles")))
                 .collect(),
+            faults_browned_out: ins.counter("faults.browned_out_windows"),
+            faults_missed_power_ups: ins.counter("faults.missed_power_ups"),
+            faults_injected_nacks: ins.counter("faults.injected_nacks"),
+            faults_injected_corruptions: ins.counter("faults.injected_corruptions"),
+            faults_stuck_cells: ins.counter("faults.stuck_cells_forced"),
+            retry_attempts: ins.counter("retry.attempts"),
+            retry_exhausted: ins.counter("retry.exhausted"),
+            retry_backoff_ms: ins.counter("retry.backoff_ms"),
             checkpoint_writes: ins.counter("checkpoint.writes"),
             checkpoint_bytes: ins.counter("checkpoint.bytes_written"),
             checkpoint_restores: ins.counter("checkpoint.restores"),
@@ -267,52 +302,125 @@ struct ShardOutput {
     records: Vec<Record>,
     dropped: u64,
     retries: u64,
+    /// The whole window was lost to a brownout.
+    browned_out: bool,
+    /// Power-ups that never happened (brownout).
+    missed_power_ups: u64,
+    /// Transfer attempts failed by an injected NACK.
+    injected_nacks: u64,
+    /// Transfer attempts failed by injected corruption.
+    injected_corruptions: u64,
+    /// Stuck-cell forcings applied (cells × reads).
+    stuck_cells_forced: u64,
+    /// Simulated retry backoff accumulated, milliseconds.
+    backoff_ms: u64,
+}
+
+/// The per-window inputs every shard sees: the schedule position plus the
+/// fault context. One immutable value shared by all workers, so the fault
+/// layer cannot depend on worker scheduling.
+#[derive(Clone, Copy)]
+struct WindowCtx<'a> {
+    wall_years: f64,
+    substeps: u32,
+    epoch: Timestamp,
+    window_start: Timestamp,
+    /// Evaluation window index (0-based month; 0 for continuous plans).
+    window: u32,
+    reads: u32,
+    retry_budget: u32,
+    seed: u64,
+    plan: &'a FaultPlan,
+}
+
+/// The injected-fault decision for one transfer attempt: a pure function of
+/// `(seed, board, window, read, attempt)` — no stream state, no locks.
+fn injected_fault(
+    ctx: &WindowCtx,
+    board: BoardId,
+    read: u32,
+    attempt: u32,
+    burst: Option<(f64, f64)>,
+) -> Option<FaultChannel> {
+    let (nack, corrupt) = burst?;
+    let roll = |channel| faults::fault_roll(ctx.seed, board, ctx.window, read, channel, attempt);
+    if nack > 0.0 && roll(FaultChannel::Nack) < nack {
+        return Some(FaultChannel::Nack);
+    }
+    if corrupt > 0.0 && roll(FaultChannel::Corruption) < corrupt {
+        return Some(FaultChannel::Corruption);
+    }
+    None
 }
 
 impl BoardShard {
     /// Ages the board by the wall time since the previous window, then
     /// measures the window: `reads` power cycles shipped over the shard's
-    /// bus endpoint, with per-read retry/drop accounting.
-    fn run_window(
-        &mut self,
-        wall_years: f64,
-        substeps: u32,
-        epoch: Timestamp,
-        window_start: Timestamp,
-        reads: u32,
-        retry_budget: u32,
-    ) -> ShardOutput {
-        if wall_years > 0.0 {
-            self.board.age(wall_years, substeps);
+    /// bus endpoint, with per-read retry/drop accounting and the fault
+    /// plan applied. All fault decisions are pure functions of the plan
+    /// and schedule position — they never draw from the board's RNG
+    /// stream, so an empty plan leaves the stream (and the record bytes)
+    /// untouched.
+    fn run_window(&mut self, ctx: &WindowCtx) -> ShardOutput {
+        if ctx.wall_years > 0.0 {
+            self.board.age(ctx.wall_years, ctx.substeps);
+        }
+        let mut out = ShardOutput::default();
+        let id = self.board.id();
+        if ctx.plan.browned_out(id, ctx.window) {
+            // The board never powers up this window. Aging has already
+            // advanced (wall time passes either way), the RNG stream is
+            // not drawn from, and the gap is reported instead of leaving
+            // the merge waiting on records that will never arrive.
+            out.browned_out = true;
+            out.missed_power_ups = u64::from(ctx.reads);
+            return out;
         }
         let period = PowerWaveform::paper_layer(0).period_s();
-        let base_cycle = (window_start.seconds_since(epoch) as f64 / period) as u64;
-        let mut out = ShardOutput {
-            records: Vec::with_capacity(reads as usize),
-            ..ShardOutput::default()
-        };
+        let base_cycle = (ctx.window_start.seconds_since(ctx.epoch) as f64 / period) as u64;
+        out.records = Vec::with_capacity(ctx.reads as usize);
+        let burst = ctx.plan.burst_rates(id, ctx.window);
+        let skew = ctx
+            .plan
+            .layer_skew_s(u8::try_from(self.layer).expect("layer fits u8"));
+        let has_stuck = !ctx.plan.stuck_clusters.is_empty();
         let mut bytes = Vec::new();
-        for read in 0..reads {
-            let t_in_window = f64::from(read) * period + 2.7 * self.layer as f64 + READOUT_DELAY_S;
-            let timestamp = window_start.offset_by(t_in_window);
+        for read in 0..ctx.reads {
+            let t_in_window =
+                f64::from(read) * period + 2.7 * self.layer as f64 + READOUT_DELAY_S + skew;
+            let timestamp = ctx.window_start.offset_by(t_in_window);
             let seq = base_cycle + u64::from(read);
-            let readout = self.board.power_cycle_with(&mut self.kernel, &mut self.rng);
+            let mut readout = self.board.power_cycle_with(&mut self.kernel, &mut self.rng);
+            if has_stuck {
+                out.stuck_cells_forced += ctx.plan.apply_stuck(id, ctx.window, &mut readout);
+            }
             bytes.clear();
             readout.to_bytes_into(&mut bytes);
             let mut attempt = 0;
             loop {
-                match self.bus.transfer(self.address, &bytes, &mut self.rng) {
-                    Ok(received) => {
+                let delivered = match injected_fault(ctx, id, read, attempt, burst) {
+                    Some(channel) => {
+                        self.bus.record_injected_failure();
+                        match channel {
+                            FaultChannel::Nack => out.injected_nacks += 1,
+                            FaultChannel::Corruption => out.injected_corruptions += 1,
+                        }
+                        None
+                    }
+                    None => self.bus.transfer(self.address, &bytes, &mut self.rng).ok(),
+                };
+                match delivered {
+                    Some(received) => {
                         let bits = BitVec::from_bytes_with_len(&received, readout.len());
-                        out.records
-                            .push(Record::new(self.board.id(), seq, timestamp, bits));
+                        out.records.push(Record::new(id, seq, timestamp, bits));
                         break;
                     }
-                    Err(_) if attempt < retry_budget => {
+                    None if attempt < ctx.retry_budget => {
+                        out.backoff_ms += faults::retry_backoff_ms(attempt);
                         attempt += 1;
                         out.retries += 1;
                     }
-                    Err(_) => {
+                    None => {
                         out.dropped += 1;
                         break;
                     }
@@ -380,6 +488,8 @@ impl Campaign {
             checkpoint_every: 0,
             checkpoint_out: None,
             halt_after: None,
+            tally: FaultTally::default(),
+            gaps: Vec::new(),
         }
     }
 
@@ -475,6 +585,8 @@ impl Campaign {
             checkpoint_every: 0,
             checkpoint_out: None,
             halt_after: None,
+            tally: FaultTally::default(),
+            gaps: Vec::new(),
         })
     }
 
@@ -513,6 +625,23 @@ impl Campaign {
     /// The counters accumulated so far, across resume boundaries.
     pub fn summary_so_far(&self) -> CampaignSummary {
         self.summary
+    }
+
+    /// What the fault layer did in this process (all zeros for an empty
+    /// plan). The tally is a pure function of `(config, seed, plan)` over
+    /// the windows this process executed, so it is recomputable and kept
+    /// out of the `pufchk/1` checkpoint; after a resume it covers the
+    /// resumed portion only.
+    pub fn fault_tally(&self) -> FaultTally {
+        self.tally
+    }
+
+    /// The gaps the fault layer opened in the record stream during this
+    /// process (brownouts and exhausted retry budgets), in deterministic
+    /// `(window, board)` order. Same process-local caveat as
+    /// [`fault_tally`](Self::fault_tally).
+    pub fn gap_records(&self) -> &[GapRecord] {
+        &self.gaps
     }
 
     /// The simulation clock: the timestamp of the next window to execute
@@ -636,7 +765,7 @@ impl Campaign {
             let wall_years = (window_days - previous_days) as f64 / 365.25;
             let window_start = Timestamp::from_date(window_date);
             let mut summary = self.summary;
-            self.run_window(sink, epoch, window_start, wall_years, &mut summary)?;
+            self.run_window(sink, epoch, window_start, month, wall_years, &mut summary)?;
             summary.windows += 1;
             self.summary = summary;
             self.next_window = month + 1;
@@ -664,7 +793,7 @@ impl Campaign {
             let epoch = self.campaign_epoch();
             let wall_years = f64::from(self.config.months) / 12.0;
             let mut summary = self.summary;
-            self.run_window(sink, epoch, epoch, wall_years, &mut summary)?;
+            self.run_window(sink, epoch, epoch, 0, wall_years, &mut summary)?;
             summary.windows += 1;
             self.summary = summary;
             self.next_window = 1;
@@ -706,6 +835,7 @@ impl Campaign {
         sink: &mut S,
         epoch: Timestamp,
         window_start: Timestamp,
+        window: u32,
         wall_years: f64,
         summary: &mut CampaignSummary,
     ) -> io::Result<()> {
@@ -715,25 +845,27 @@ impl Campaign {
                 (self.config.aging_substeps_per_month * self.config.months).max(1)
             }
         };
-        let reads = self.config.reads_per_window;
-        let retry_budget = self.config.i2c_retries;
+        let ctx = WindowCtx {
+            wall_years,
+            substeps,
+            epoch,
+            window_start,
+            window,
+            reads: self.config.reads_per_window,
+            retry_budget: self.config.i2c_retries,
+            seed: self.seed,
+            plan: &self.config.faults,
+        };
         let obs = self.obs.as_ref();
         let worker = |shard: &mut BoardShard| {
             let started = obs.map(|o| o.ins.now());
-            let out = shard.run_window(
-                wall_years,
-                substeps,
-                epoch,
-                window_start,
-                reads,
-                retry_budget,
-            );
+            let out = shard.run_window(&ctx);
             if let Some(o) = obs {
                 if let Some(t0) = started {
                     o.shard_window_ns
                         .record_duration(o.ins.now().saturating_sub(t0));
                 }
-                let cycles = u64::from(reads);
+                let cycles = u64::from(ctx.reads) - out.missed_power_ups;
                 o.power_cycles.add(cycles);
                 if let Some(board) = o.board_cycles.get(usize::from(shard.board.id().0)) {
                     board.add(cycles);
@@ -741,6 +873,16 @@ impl Campaign {
                 o.dropped.add(out.dropped);
                 o.retries.add(out.retries);
                 o.i2c_faults.add(out.dropped + out.retries);
+                if out.browned_out {
+                    o.faults_browned_out.inc();
+                }
+                o.faults_missed_power_ups.add(out.missed_power_ups);
+                o.faults_injected_nacks.add(out.injected_nacks);
+                o.faults_injected_corruptions.add(out.injected_corruptions);
+                o.faults_stuck_cells.add(out.stuck_cells_forced);
+                o.retry_attempts.add(out.retries);
+                o.retry_exhausted.add(out.dropped);
+                o.retry_backoff_ms.add(out.backoff_ms);
                 o.shard_windows.inc();
             }
             out
@@ -771,9 +913,33 @@ impl Campaign {
 
         let mut records: Vec<Record> =
             Vec::with_capacity(outputs.iter().map(|o| o.records.len()).sum());
-        for output in &mut outputs {
+        let window_date = window_start.datetime().date;
+        for (i, output) in outputs.iter_mut().enumerate() {
             summary.dropped += output.dropped;
             summary.retries += output.retries;
+            self.tally.browned_out_windows += u64::from(output.browned_out);
+            self.tally.missed_power_ups += output.missed_power_ups;
+            self.tally.injected_nacks += output.injected_nacks;
+            self.tally.injected_corruptions += output.injected_corruptions;
+            self.tally.stuck_cells_forced += output.stuck_cells_forced;
+            self.tally.retry_backoff_ms += output.backoff_ms;
+            // Degradation is reported, never silently averaged over: each
+            // shortfall becomes an explicit gap record (shards come back in
+            // board order, so the gap stream is deterministic too).
+            let missed = output.missed_power_ups + output.dropped;
+            if missed > 0 {
+                self.gaps.push(GapRecord {
+                    device: self.shards[i].board.id(),
+                    window,
+                    year_month: (window_date.year, window_date.month),
+                    missed_reads: u32::try_from(missed).unwrap_or(u32::MAX),
+                    cause: if output.browned_out {
+                        GapCause::Brownout
+                    } else {
+                        GapCause::RetriesExhausted
+                    },
+                });
+            }
             records.append(&mut output.records);
         }
         // The deterministic merge order of the record stream: cycle first,

@@ -272,6 +272,16 @@ impl I2cBus {
         result
     }
 
+    /// Books a transfer attempt that was failed by the deterministic fault
+    /// layer *before* it reached the wire: the bus counters stay honest
+    /// (one attempted transaction, one failure) without drawing from any
+    /// RNG stream, which is what keeps injected faults independent of the
+    /// board's main random stream.
+    pub fn record_injected_failure(&mut self) {
+        self.transactions += 1;
+        self.failures += 1;
+    }
+
     /// Snapshot of the bus counters (for checkpointing).
     pub fn stats(&self) -> BusStats {
         BusStats {

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod board;
+pub mod faults;
 pub mod i2c;
 pub mod power;
 pub mod schedule;
@@ -61,7 +62,8 @@ pub use board::{BoardId, MasterBoard, SlaveBoard, SlaveBoardState};
 pub use campaign::{
     board_stream_seed, Campaign, CampaignConfig, CampaignSummary, Dataset, MeasurementPlan,
 };
+pub use faults::{FaultPlan, FaultPlanError, FaultTally, GapCause, GapRecord};
 pub use power::PowerSwitch;
 pub use store::{BoardState, CampaignState, CheckpointError, Record, RecordSink};
-pub use time::{CalendarDate, DateTime, Timestamp};
+pub use time::{days_in_month, CalendarDate, DateTime, Timestamp};
 pub use waveform::PowerWaveform;

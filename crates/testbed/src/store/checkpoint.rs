@@ -231,33 +231,41 @@ pub fn config_hash(config: &CampaignConfig, seed: u64) -> u64 {
     h.f64(config.i2c_nack_rate);
     h.f64(config.i2c_corruption_rate);
     h.u64(u64::from(config.i2c_retries));
+    // A fault plan only feeds the hash when it schedules something, so
+    // checkpoints taken before the fault layer existed (and all zero-fault
+    // checkpoints since) keep their hashes — a resume under a *changed*
+    // plan is still refused because a non-empty plan perturbs the hash.
+    if !config.faults.is_empty() {
+        h.bytes(b"faults");
+        h.u64(config.faults.stable_hash());
+    }
     h.finish()
 }
 
 /// FNV-1a 64 over a canonical byte stream.
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(0xCBF2_9CE4_8422_2325)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.bytes(&v.to_le_bytes());
     }
 
-    fn f64(&mut self, v: f64) {
+    pub(crate) fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -688,6 +696,17 @@ mod tests {
                 },
                 ..base.clone()
             },
+            CampaignConfig {
+                faults: crate::faults::FaultPlan {
+                    brownouts: vec![crate::faults::Brownout {
+                        board: None,
+                        from_window: 0,
+                        until_window: 0,
+                    }],
+                    ..crate::faults::FaultPlan::default()
+                },
+                ..base.clone()
+            },
         ];
         for (i, v) in variations.iter().enumerate() {
             assert_ne!(
@@ -696,6 +715,18 @@ mod tests {
                 "variation {i} did not change the hash"
             );
         }
+        // The empty fault plan must NOT perturb the hash: pre-fault-layer
+        // checkpoints stay resumable.
+        assert_eq!(
+            config_hash(
+                &CampaignConfig {
+                    faults: crate::faults::FaultPlan::default(),
+                    ..base.clone()
+                },
+                seed
+            ),
+            h0
+        );
     }
 
     #[test]

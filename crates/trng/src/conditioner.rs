@@ -26,7 +26,12 @@ use pufkeygen::sha256::Sha256;
 #[derive(Debug, Clone)]
 pub struct Conditioner {
     state: Sha256,
-    credit_bits: f64,
+    /// Entropy credit in milli-bits (thousandths of a bit). Integer
+    /// accounting makes the credit ledger exact: absorbing and squeezing in
+    /// any interleaving conserves credit to the milli-bit, where the old
+    /// `f64` ledger accumulated rounding drift (and could slowly over- or
+    /// under-credit across millions of operations).
+    credit_millibits: u64,
     counter: u64,
 }
 
@@ -37,14 +42,17 @@ impl Default for Conditioner {
 }
 
 /// Safety derating: credited entropy must be at least twice the output.
-const DERATING: f64 = 2.0;
+const DERATING: u64 = 2;
+
+/// Milli-bits of credit one output byte costs: 8 bits × derating × 1000.
+const MILLIBITS_PER_OUTPUT_BYTE: u64 = 8 * DERATING * 1000;
 
 impl Conditioner {
     /// Creates an empty conditioner.
     pub fn new() -> Self {
         Self {
             state: Sha256::new(),
-            credit_bits: 0.0,
+            credit_millibits: 0,
             counter: 0,
         }
     }
@@ -71,17 +79,27 @@ impl Conditioner {
             remaining -= take;
         }
         self.state.update(&(raw.len() as u64).to_le_bytes());
-        self.credit_bits += raw.len() as f64 * entropy_per_bit;
+        // Credit floors to whole milli-bits per raw bit — conservative, and
+        // exactly reproducible regardless of absorb/squeeze interleaving.
+        let millibits_per_bit = (entropy_per_bit * 1000.0).floor() as u64;
+        self.credit_millibits += raw.len() as u64 * millibits_per_bit;
     }
 
-    /// Entropy credit currently held, in bits.
+    /// Entropy credit currently held, in milli-bits (exact).
+    pub fn credit_millibits(&self) -> u64 {
+        self.credit_millibits
+    }
+
+    /// Entropy credit currently held, in bits (for display; the ledger
+    /// itself is the exact [`credit_millibits`](Self::credit_millibits)).
     pub fn credit_bits(&self) -> f64 {
-        self.credit_bits
+        self.credit_millibits as f64 / 1000.0
     }
 
     /// Output bytes available at the current credit.
     pub fn available_bytes(&self) -> usize {
-        ((self.credit_bits / DERATING) / 8.0).floor() as usize
+        usize::try_from(self.credit_millibits / MILLIBITS_PER_OUTPUT_BYTE)
+            .expect("available bytes fit usize")
     }
 
     /// Produces `n` conditioned bytes, or `None` if the credit is
@@ -90,7 +108,7 @@ impl Conditioner {
         if n > self.available_bytes() {
             return None;
         }
-        self.credit_bits -= n as f64 * 8.0 * DERATING;
+        self.credit_millibits -= n as u64 * MILLIBITS_PER_OUTPUT_BYTE;
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             let mut block = self.state.clone();
@@ -125,6 +143,21 @@ mod tests {
         let out = c.squeeze(31).unwrap();
         assert_eq!(out.len(), 31);
         assert!(c.squeeze(1).is_none(), "credit spent");
+    }
+
+    #[test]
+    fn credit_ledger_is_exact_integer_accounting() {
+        let mut c = Conditioner::new();
+        // 0.1 bits/bit is unrepresentable in binary floating point; the old
+        // f64 ledger drifted over repeated absorbs. The integer ledger must
+        // land on exactly 100 milli-bits per raw bit, every time.
+        for _ in 0..1000 {
+            c.absorb(&BitVec::ones(3), 0.1);
+        }
+        assert_eq!(c.credit_millibits(), 300_000);
+        assert_eq!(c.available_bytes(), 18); // 300 000 / 16 000
+        let _ = c.squeeze(18).unwrap();
+        assert_eq!(c.credit_millibits(), 300_000 - 18 * 16_000);
     }
 
     #[test]

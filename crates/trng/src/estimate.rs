@@ -2,16 +2,45 @@
 
 use pufbits::BitVec;
 pub use pufstats::entropy::mcv_estimate;
+use std::error::Error;
+use std::fmt;
+
+/// Error from an estimator handed a degenerate stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The Markov estimator needs at least two bits (one transition) —
+    /// shorter streams have an all-zero transition table and no defined
+    /// estimate.
+    TooFewBits {
+        /// Bits supplied.
+        len: usize,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::TooFewBits { len } => {
+                write!(f, "markov estimate needs at least two bits, got {len}")
+            }
+        }
+    }
+}
+
+impl Error for EstimateError {}
 
 /// Markov min-entropy estimate for a binary stream (SP 800-90B §6.3.3,
 /// binary specialization): bounds the per-bit min-entropy accounting for
 /// first-order dependence between consecutive bits.
 ///
-/// Returns bits of min-entropy per symbol, in `[0, 1]`.
+/// Returns bits of min-entropy per symbol, in `[0, 1]`. A state that is
+/// never visited contributes the uninformative `[0.5, 0.5]` transition row
+/// rather than a 0/0 division.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the stream has fewer than two bits.
+/// Returns [`EstimateError::TooFewBits`] if the stream has fewer than two
+/// bits.
 ///
 /// # Examples
 ///
@@ -22,10 +51,13 @@ pub use pufstats::entropy::mcv_estimate;
 /// // A perfectly alternating stream is fully predictable from its
 /// // predecessor even though it is unbiased.
 /// let alternating: BitVec = (0..4096).map(|i| i % 2 == 0).collect();
-/// assert!(markov_estimate(&alternating) < 0.02);
+/// assert!(markov_estimate(&alternating)? < 0.02);
+/// # Ok::<(), puftrng::estimate::EstimateError>(())
 /// ```
-pub fn markov_estimate(bits: &BitVec) -> f64 {
-    assert!(bits.len() >= 2, "markov estimate needs at least two bits");
+pub fn markov_estimate(bits: &BitVec) -> Result<f64, EstimateError> {
+    if bits.len() < 2 {
+        return Err(EstimateError::TooFewBits { len: bits.len() });
+    }
     // Transition counts.
     let mut counts = [[0u64; 2]; 2];
     let mut prev = usize::from(bits.get(0).expect("non-empty"));
@@ -60,19 +92,23 @@ pub fn markov_estimate(bits: &BitVec) -> f64 {
         ];
     }
     let max_log = best[0].max(best[1]);
-    (-max_log / L as f64).clamp(0.0, 1.0)
+    Ok((-max_log / L as f64).clamp(0.0, 1.0))
 }
 
 /// Combined conservative estimate: the minimum of the most-common-value and
 /// Markov estimates, as SP 800-90B prescribes taking the minimum over all
 /// applicable estimators.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the stream has fewer than two bits.
-pub fn conservative_estimate(bits: &BitVec) -> f64 {
+/// Returns [`EstimateError::TooFewBits`] if the stream has fewer than two
+/// bits.
+pub fn conservative_estimate(bits: &BitVec) -> Result<f64, EstimateError> {
+    // Markov first: its length check also covers the empty stream that
+    // `mcv_estimate` would reject with a panic.
+    let markov = markov_estimate(bits)?;
     let mcv = mcv_estimate(bits.count_ones() as u64, bits.len() as u64);
-    mcv.min(markov_estimate(bits))
+    Ok(mcv.min(markov))
 }
 
 #[cfg(test)]
@@ -89,23 +125,25 @@ mod tests {
     #[test]
     fn fair_iid_stream_estimates_near_one() {
         let bits = bernoulli(200_000, 0.5, 130);
-        assert!(markov_estimate(&bits) > 0.95);
-        assert!(conservative_estimate(&bits) > 0.95);
+        assert!(markov_estimate(&bits).unwrap() > 0.95);
+        assert!(conservative_estimate(&bits).unwrap() > 0.95);
     }
 
     #[test]
     fn biased_stream_estimates_near_formula() {
         let p: f64 = 0.8;
         let bits = bernoulli(200_000, p, 131);
-        let h = markov_estimate(&bits);
+        let h = markov_estimate(&bits).unwrap();
         assert!((h - (-p.log2())).abs() < 0.02, "h {h}");
     }
 
     #[test]
     fn constant_stream_estimates_zero() {
+        // Only one Markov state is ever visited; the other's transition row
+        // is the uninformative [0.5, 0.5] — it must not divide 0 by 0.
         let bits = BitVec::ones(4096);
-        assert_eq!(markov_estimate(&bits), 0.0);
-        assert_eq!(conservative_estimate(&bits), 0.0);
+        assert_eq!(markov_estimate(&bits).unwrap(), 0.0);
+        assert_eq!(conservative_estimate(&bits).unwrap(), 0.0);
     }
 
     #[test]
@@ -113,12 +151,16 @@ mod tests {
         let alternating: BitVec = (0..8192).map(|i| i % 2 == 0).collect();
         let mcv = mcv_estimate(alternating.count_ones() as u64, alternating.len() as u64);
         assert!(mcv > 0.9, "mcv is blind to alternation: {mcv}");
-        assert!(markov_estimate(&alternating) < 0.02);
+        assert!(markov_estimate(&alternating).unwrap() < 0.02);
     }
 
     #[test]
-    #[should_panic(expected = "at least two bits")]
-    fn tiny_stream_rejected() {
-        markov_estimate(&BitVec::from_bits([true]));
+    fn tiny_streams_get_a_typed_error_not_a_panic() {
+        for bits in [BitVec::new(), BitVec::from_bits([true])] {
+            let err = markov_estimate(&bits).unwrap_err();
+            assert_eq!(err, EstimateError::TooFewBits { len: bits.len() });
+            assert!(err.to_string().contains("at least two bits"));
+            assert_eq!(conservative_estimate(&bits).unwrap_err(), err);
+        }
     }
 }

@@ -1,0 +1,55 @@
+//! Property-based proof that the conditioner's entropy-credit ledger is
+//! conserved exactly: for any interleaving of absorbs and squeezes, the
+//! credit held equals credit granted minus credit spent, to the milli-bit.
+//! The previous `f64` ledger violated this under long interleavings because
+//! `credit += len * entropy` accumulated rounding drift.
+
+use proptest::prelude::*;
+use pufbits::BitVec;
+use puftrng::conditioner::Conditioner;
+
+/// Milli-bits one output byte costs: 8 bits × derating 2 × 1000.
+const MILLIBITS_PER_OUTPUT_BYTE: u64 = 16_000;
+
+proptest! {
+    #[test]
+    fn credit_is_conserved_exactly_across_any_interleaving(
+        ops in prop::collection::vec((1usize..2000, 0u32..=1000, 0usize..80), 1..40)
+    ) {
+        let mut c = Conditioner::new();
+        // Shadow ledger in integer milli-bits, updated by the documented
+        // rules only.
+        let mut ledger: u64 = 0;
+        for (len, millis, want) in ops {
+            let entropy = f64::from(millis) / 1000.0;
+            c.absorb(&BitVec::ones(len), entropy);
+            ledger += len as u64 * ((entropy * 1000.0).floor() as u64);
+            prop_assert_eq!(c.credit_millibits(), ledger);
+
+            let affordable = ledger / MILLIBITS_PER_OUTPUT_BYTE;
+            prop_assert_eq!(c.available_bytes() as u64, affordable);
+            match c.squeeze(want) {
+                Some(out) => {
+                    prop_assert!(want as u64 <= affordable, "over-squeezed");
+                    prop_assert_eq!(out.len(), want);
+                    ledger -= want as u64 * MILLIBITS_PER_OUTPUT_BYTE;
+                }
+                None => prop_assert!(want as u64 > affordable, "under-served"),
+            }
+            prop_assert_eq!(c.credit_millibits(), ledger);
+        }
+    }
+
+    #[test]
+    fn integer_credit_never_exceeds_the_real_entropy(
+        len in 1usize..4000, millis in 0u32..=1000
+    ) {
+        // Flooring per raw bit is conservative: the ledger can only
+        // under-credit relative to len × entropy, never over-credit.
+        let mut c = Conditioner::new();
+        c.absorb(&BitVec::ones(len), f64::from(millis) / 1000.0);
+        let exact_millibits = len as f64 * f64::from(millis);
+        prop_assert!(c.credit_millibits() as f64 <= exact_millibits + 1e-6);
+        prop_assert!((c.credit_bits() - c.credit_millibits() as f64 / 1000.0).abs() < 1e-12);
+    }
+}
