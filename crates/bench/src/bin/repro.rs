@@ -6,7 +6,8 @@
 //!       [--metrics-out FILE] [--verbose] \
 //!       [--checkpoint-out FILE] [--checkpoint-every N] \
 //!       [--resume-from FILE] [--halt-after-windows N] \
-//!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel] [--all]
+//!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel]
+//!       [--keylife] [--all]
 //! ```
 //!
 //! Artifacts are printed to stdout; `--fig4` additionally writes
@@ -31,7 +32,7 @@ use pufassess::streaming::WindowAccumulator;
 use pufassess::visualize;
 use pufbench::{
     campaign_total_cycles, default_threads, metrics, reopen_for_resume,
-    run_assessment_streaming_with, FormatSink, Scale,
+    run_assessment_streaming_with, run_keylife_streaming_with, FormatSink, Scale,
 };
 use pufobs::Instruments;
 use puftestbed::store::{checkpoint, RecordFormat, TeeSink};
@@ -174,8 +175,11 @@ fn main() {
             "--accel" => {
                 artifacts.insert("accel");
             }
+            "--keylife" => {
+                artifacts.insert("keylife");
+            }
             "--all" => {
-                for a in ["fig3", "fig4", "fig5", "fig6", "table1", "accel"] {
+                for a in ["fig3", "fig4", "fig5", "fig6", "table1", "accel", "keylife"] {
                     artifacts.insert(a);
                 }
             }
@@ -186,7 +190,7 @@ fn main() {
         }
     }
     if artifacts.is_empty() {
-        for a in ["fig3", "fig4", "fig5", "fig6", "table1", "accel"] {
+        for a in ["fig3", "fig4", "fig5", "fig6", "table1", "accel", "keylife"] {
             artifacts.insert(a);
         }
     }
@@ -376,6 +380,16 @@ fn main() {
             println!("\n=== Table I ===\n");
             println!("{}", assessment.table1().render());
         }
+    }
+
+    if artifacts.contains("keylife") {
+        // A second deterministic pass over the same campaign (same seed →
+        // identical records), streamed into the key-lifetime workload: the
+        // enrolled keys must survive every later month.
+        eprintln!("replaying campaign through the key-lifetime workload…");
+        let life = run_keylife_streaming_with(scale, seed, threads, seed, obs.as_ref());
+        println!("\n=== key-lifetime workload (enroll month 0, replay the rest) ===\n");
+        print!("{}", life.render_table());
     }
 
     if let (Some(path), Some(ins)) = (&metrics_out, &obs) {

@@ -10,7 +10,7 @@
 
 use pufassess::monthly::EvaluationProtocol;
 use pufassess::streaming::WindowAccumulator;
-use pufassess::Assessment;
+use pufassess::{Assessment, KeyLife, KeyLifeAccumulator, KeyLifeConfig, KeyProfile};
 use pufobs::Instruments;
 use puftestbed::store::atomic::tmp_path;
 use puftestbed::store::{
@@ -74,6 +74,34 @@ impl Scale {
         EvaluationProtocol {
             reads_per_window: self.campaign_config().reads_per_window,
             ..EvaluationProtocol::default()
+        }
+    }
+
+    /// ECC profiles dimensioned for this scale's read width: the secret
+    /// length is chosen so the debiased response (≈23 % of the raw bits at
+    /// the paper's 62.7 % bias) still covers the codeword. Paper scale
+    /// carries the paper's full 128-bit secret; the reduced scales shrink
+    /// the secret with the read-out, keeping enrollment feasible.
+    pub fn keylife_profiles(&self) -> Vec<KeyProfile> {
+        let specs: &[(&str, usize)] = match self {
+            Scale::Smoke => &[("golay-r5", 12), ("polar-128-16", 16)],
+            Scale::Small => &[("golay-r5", 24), ("polar-256-32", 32)],
+            Scale::Paper => &[("golay-r5", 128), ("polar-512-128", 128)],
+        };
+        specs
+            .iter()
+            .map(|&(token, bits)| {
+                KeyProfile::parse(token, bits).expect("built-in profiles are valid")
+            })
+            .collect()
+    }
+
+    /// The key-lifetime workload configuration at this scale.
+    pub fn keylife_config(&self, enroll_seed: u64) -> KeyLifeConfig {
+        KeyLifeConfig {
+            protocol: self.protocol(),
+            profiles: self.keylife_profiles(),
+            enroll_seed,
         }
     }
 }
@@ -161,6 +189,103 @@ pub fn run_assessment_streaming_with(
     accumulator
         .finish()
         .expect("built-in scales produce assessable datasets")
+}
+
+/// Runs the campaign at `scale` across `threads` workers, piping records
+/// straight into the key-lifetime workload: every device enrolls a key per
+/// profile from its first eligible read and every later device-month
+/// replays through reconstruction. The report is identical for every
+/// thread count, and identical with or without `instruments`.
+///
+/// # Panics
+///
+/// Panics if the workload fails (cannot happen for the built-in scales).
+pub fn run_keylife_streaming_with(
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    enroll_seed: u64,
+    instruments: Option<&Instruments>,
+) -> KeyLife {
+    let mut accumulator = KeyLifeAccumulator::new(scale.keylife_config(enroll_seed));
+    let mut campaign = Campaign::new(scale.campaign_config(), seed).threads(threads);
+    if let Some(ins) = instruments {
+        accumulator.attach_instruments(ins);
+        campaign = campaign.instruments(ins);
+    }
+    campaign
+        .run(&mut accumulator)
+        .expect("accumulator sink cannot fail");
+    accumulator
+        .finish()
+        .expect("built-in scales produce evaluable datasets")
+}
+
+/// Serializes a [`KeyLife`] report plus wall-clock throughput into the
+/// `bench-keylife/1` JSON document (`BENCH_keylife.json`): per-profile
+/// attempt/failure/erasure totals with the worst month's observed rate and
+/// analytic bound, plus the stream counters. Floats are finite by
+/// construction, so the output is always valid JSON.
+pub fn keylife_bench_json(life: &KeyLife, elapsed_seconds: f64) -> String {
+    fn opt(value: Option<f64>) -> String {
+        value.map_or_else(|| "null".to_string(), |v| v.to_string())
+    }
+    let throughput = if elapsed_seconds > 0.0 {
+        life.records_seen as f64 / elapsed_seconds
+    } else {
+        0.0
+    };
+    let profiles: Vec<String> = life
+        .profiles
+        .iter()
+        .map(|p| {
+            let attempts: u64 = p.rows.iter().map(|r| r.attempts).sum();
+            let failures: u64 = p.rows.iter().map(|r| r.failures).sum();
+            let erasures: u64 = p.rows.iter().map(|r| r.erasures).sum();
+            let worst_rate = p
+                .rows
+                .iter()
+                .filter_map(|r| r.rate)
+                .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))));
+            let worst_bound = p
+                .rows
+                .iter()
+                .filter_map(|r| r.bound)
+                .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))));
+            format!(
+                "    {{\"name\": \"{}\", \"secret_bits\": {}, \"enrolled\": {}, \
+                 \"attempts\": {}, \"failures\": {}, \"erasures\": {}, \
+                 \"worst_month_rate\": {}, \"worst_month_bound\": {}}}",
+                p.profile.name,
+                p.profile.secret_bits,
+                p.enrolled,
+                attempts,
+                failures,
+                erasures,
+                opt(worst_rate),
+                opt(worst_bound),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"bench-keylife/1\",\n  \"devices\": {},\n  \"months\": {},\n  \
+         \"enroll_seed\": {},\n  \"records_seen\": {},\n  \"records_folded\": {},\n  \
+         \"reconstructions\": {},\n  \"reconstruct_failures\": {},\n  \"wrong_keys\": {},\n  \
+         \"enroll_failures\": {},\n  \"elapsed_seconds\": {},\n  \"records_per_second\": {},\n  \
+         \"profiles\": [\n{}\n  ]\n}}\n",
+        life.devices,
+        life.months.len(),
+        life.enroll_seed,
+        life.records_seen,
+        life.records_folded,
+        life.reconstructions,
+        life.reconstruct_failures,
+        life.wrong_keys,
+        life.enroll_failures,
+        elapsed_seconds,
+        throughput,
+        profiles.join(",\n"),
+    )
 }
 
 /// [`run_assessment_streaming_with`], additionally teeing every campaign
@@ -424,6 +549,15 @@ pub mod metrics {
             .extra("skipped", "assess.records_skipped")
             .extra("malformed", "reader.malformed_lines")
     }
+
+    /// The heartbeat spec for the key-lifetime consumer: records against an
+    /// unknown total, with reconstruction-attempt and failure columns.
+    pub fn keylife_spec() -> ProgressSpec {
+        ProgressSpec::new("keylife", "keylife.records_seen", "rec", None)
+            .extra("folded", "keylife.records_folded")
+            .extra("reconstructions", "keylife.reconstructions")
+            .extra("failures", "keylife.reconstruct_failures")
+    }
 }
 
 #[cfg(test)]
@@ -449,6 +583,33 @@ mod tests {
         let streamed = run_assessment_streaming(Scale::Smoke, 1, 2);
         let in_memory = run_assessment(Scale::Smoke, 1);
         assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn keylife_profiles_fit_their_scales_and_serialize_to_valid_json() {
+        // Every built-in profile must enroll at its scale: the debiased
+        // response has to cover the codeword, which is exactly what
+        // running the workload end to end checks.
+        let life = run_keylife_streaming_with(Scale::Smoke, 1, 2, 7, None);
+        assert_eq!(life.devices, 4);
+        assert_eq!(life.enroll_failures, 0);
+        assert_eq!(life.wrong_keys, 0);
+
+        let json = keylife_bench_json(&life, 1.5);
+        assert!(json.contains("\"schema\": \"bench-keylife/1\""));
+        assert!(json.contains("\"name\": \"golay-r5\""));
+        assert!(json.contains("\"name\": \"polar-128-16\""));
+        // No trailing commas, balanced braces — the CI job re-validates
+        // with python3 -m json.tool.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "{json}");
+        // Small and paper profiles at least construct.
+        assert_eq!(Scale::Small.keylife_profiles().len(), 2);
+        assert_eq!(Scale::Paper.keylife_profiles().len(), 2);
     }
 
     #[test]

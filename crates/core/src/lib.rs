@@ -17,6 +17,10 @@
 //! * [`streaming`] — the same pipeline in bounded memory: records fold one
 //!   at a time into per-(device, month) accumulators, so paper-scale
 //!   campaigns assess without retaining read-outs.
+//! * [`keylife`] — the key-lifetime workload: enroll a fuzzy-extractor key
+//!   per device, replay every later device-month through reconstruction,
+//!   and report observed monthly key-failure rates next to the analytic
+//!   WCHD-derived bound.
 //! * [`table1`] — the paper's Table I: start/end values, relative change,
 //!   and compound monthly change, average and worst-case over devices.
 //! * [`visualize`] — the start-up pattern raster of Fig. 4.
@@ -49,6 +53,7 @@
 pub mod assessment;
 pub mod entropy;
 pub mod fit;
+pub mod keylife;
 pub mod metrics;
 pub mod monthly;
 pub mod report;
@@ -57,6 +62,7 @@ pub mod table1;
 pub mod visualize;
 
 pub use assessment::{AssessError, Assessment, CoverageReport, MonthCoverage};
+pub use keylife::{KeyLife, KeyLifeAccumulator, KeyLifeConfig, KeyLifeError, KeyProfile};
 pub use monthly::EvaluationProtocol;
 pub use streaming::WindowAccumulator;
 pub use table1::Table1;

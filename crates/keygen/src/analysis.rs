@@ -7,6 +7,7 @@
 //! bit errors at rate `ber`.
 
 use crate::ecc::Repetition;
+use crate::CodeSpec;
 
 /// Probability that one Golay block (23 repetition groups) fails to decode
 /// to the right message: at least 4 group-majority errors.
@@ -67,6 +68,32 @@ pub fn key_failure_probability(ber: f64, repetition: usize, secret_bits: usize) 
     1.0 - (1.0 - golay_block_failure(ber, repetition)).powi(blocks)
 }
 
+/// Analytic key-failure bound for an arbitrary [`CodeSpec`] at i.i.d. bit
+/// error rate `ber`, or `None` when the spec has no closed-form bound.
+///
+/// The Golay ⊗ repetition concatenation has an exact i.i.d. failure
+/// probability ([`key_failure_probability`]); polar successive-cancellation
+/// decoding has no deterministic correction radius
+/// (`correctable_errors() == 0`), so no honest analytic bound exists and
+/// callers should print the observed rate alone.
+///
+/// Returns `None` (never panics) for invalid spec parameters too, so the
+/// function is safe to call on unvalidated profiles.
+pub fn spec_failure_bound(spec: CodeSpec, ber: f64, secret_bits: usize) -> Option<f64> {
+    if secret_bits == 0 || !(0.0..=1.0).contains(&ber) {
+        return None;
+    }
+    match spec {
+        CodeSpec::GolayRepetition { repetition } => {
+            if repetition == 0 || repetition % 2 == 0 {
+                return None;
+            }
+            Some(key_failure_probability(ber, repetition, secret_bits))
+        }
+        CodeSpec::Polar { .. } => None,
+    }
+}
+
 /// Largest i.i.d. BER at which a 128-bit key still reconstructs with
 /// failure probability below `target` — the scheme's *correction boundary*,
 /// found by bisection.
@@ -121,6 +148,26 @@ mod tests {
         // The paper-dimensioned rep-5 margin sits comfortably above the
         // end-of-life worst-case WCHD of 3.25 %.
         assert!(m5 > 0.05, "rep-5 margin {m5}");
+    }
+
+    #[test]
+    fn spec_bound_matches_golay_formula_and_skips_polar() {
+        let golay = CodeSpec::GolayRepetition { repetition: 5 };
+        assert_eq!(
+            spec_failure_bound(golay, 0.0325, 128),
+            Some(key_failure_probability(0.0325, 5, 128))
+        );
+        assert_eq!(
+            spec_failure_bound(CodeSpec::Polar { n: 256, k: 64 }, 0.0325, 128),
+            None
+        );
+        // Degenerate inputs are None, not panics.
+        assert_eq!(spec_failure_bound(golay, 0.0325, 0), None);
+        assert_eq!(spec_failure_bound(golay, -0.1, 128), None);
+        assert_eq!(
+            spec_failure_bound(CodeSpec::GolayRepetition { repetition: 4 }, 0.03, 128),
+            None
+        );
     }
 
     #[test]

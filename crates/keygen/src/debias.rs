@@ -11,6 +11,30 @@
 //! unbiased, and the mask itself reveals nothing about their values.
 
 use pufbits::BitVec;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a debias mask does not fit the response it is
+/// applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskLengthError {
+    /// Mask length in bits.
+    pub mask: usize,
+    /// Response length in bits.
+    pub response: usize,
+}
+
+impl fmt::Display for MaskLengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "debias mask is {} bits but the response is {} bits",
+            self.mask, self.response
+        )
+    }
+}
+
+impl Error for MaskLengthError {}
 
 /// The enrollment-time output of pair-selection debiasing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,9 +82,11 @@ pub fn enroll_debias(response: &BitVec) -> DebiasSelection {
 /// error-correcting layer above absorbs that (the effective bit error rate
 /// roughly matches the raw response's).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the mask length does not match the response.
+/// Returns [`MaskLengthError`] if the mask length does not match the
+/// response — helper data from another device or a truncated store must
+/// surface as a typed error, never a panic.
 ///
 /// # Examples
 ///
@@ -70,18 +96,18 @@ pub fn enroll_debias(response: &BitVec) -> DebiasSelection {
 ///
 /// let response = BitVec::from_bits([false, true, true, true]);
 /// let sel = enroll_debias(&response);
-/// let again = reconstruct_debias(&response, &sel.mask);
+/// let again = reconstruct_debias(&response, &sel.mask)?;
 /// assert_eq!(again, sel.bits);
+/// # Ok::<(), pufkeygen::debias::MaskLengthError>(())
 /// ```
-pub fn reconstruct_debias(response: &BitVec, mask: &BitVec) -> BitVec {
-    assert_eq!(
-        response.len(),
-        mask.len(),
-        "mask length {} does not match response {}",
-        mask.len(),
-        response.len()
-    );
-    response.select(mask)
+pub fn reconstruct_debias(response: &BitVec, mask: &BitVec) -> Result<BitVec, MaskLengthError> {
+    if response.len() != mask.len() {
+        return Err(MaskLengthError {
+            mask: mask.len(),
+            response: response.len(),
+        });
+    }
+    Ok(response.select(mask))
 }
 
 /// Expected debiased yield per input bit for a response with one-probability
@@ -149,7 +175,7 @@ mod tests {
     fn reconstruction_is_exact_without_noise() {
         let response = biased_response(4096, 0.627, 93);
         let sel = enroll_debias(&response);
-        assert_eq!(reconstruct_debias(&response, &sel.mask), sel.bits);
+        assert_eq!(reconstruct_debias(&response, &sel.mask).unwrap(), sel.bits);
     }
 
     #[test]
@@ -164,7 +190,7 @@ mod tests {
                 noisy.set(i, !noisy.get(i).unwrap());
             }
         }
-        let bits = reconstruct_debias(&noisy, &sel.mask);
+        let bits = reconstruct_debias(&noisy, &sel.mask).unwrap();
         let ber = bits.fractional_hamming_distance(&sel.bits);
         // Only the first bit of each pair is re-read, so the debiased BER
         // tracks the raw BER.
@@ -177,5 +203,44 @@ mod tests {
         let sel = enroll_debias(&response);
         assert_eq!(sel.bits.len(), 1);
         assert_eq!(sel.mask.len(), 3);
+        // The mask still replays over the odd-length response.
+        assert_eq!(reconstruct_debias(&response, &sel.mask).unwrap(), sel.bits);
+    }
+
+    #[test]
+    fn empty_response_yields_empty_selection() {
+        let sel = enroll_debias(&BitVec::new());
+        assert!(sel.bits.is_empty());
+        assert!(sel.mask.is_empty());
+        assert_eq!(
+            reconstruct_debias(&BitVec::new(), &sel.mask).unwrap(),
+            BitVec::new()
+        );
+    }
+
+    #[test]
+    fn all_identical_bits_select_nothing() {
+        for bit in [false, true] {
+            let response = BitVec::from_bits(std::iter::repeat_n(bit, 64));
+            let sel = enroll_debias(&response);
+            assert!(sel.bits.is_empty(), "constant response has no pairs");
+            assert_eq!(sel.mask.count_ones(), 0);
+            assert!(reconstruct_debias(&response, &sel.mask).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn mismatched_mask_is_a_typed_error() {
+        let response = BitVec::zeros(8);
+        let mask = BitVec::zeros(6);
+        let err = reconstruct_debias(&response, &mask).unwrap_err();
+        assert_eq!(
+            err,
+            MaskLengthError {
+                mask: 6,
+                response: 8
+            }
+        );
+        assert!(err.to_string().contains("6 bits"));
     }
 }

@@ -114,7 +114,9 @@ impl BlockCode for Golay {
     }
 
     fn decode(&self, word: &BitVec) -> Result<BitVec, DecodeError> {
-        assert_eq!(word.len(), N, "golay codewords are {N} bits");
+        if word.len() != N {
+            return Err(DecodeError::length_mismatch(word.len(), N));
+        }
         let r = Self::to_u32(word);
         let syndrome = Self::poly_mod(r);
         let error = Self::table()[syndrome as usize];

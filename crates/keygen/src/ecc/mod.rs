@@ -56,11 +56,77 @@ pub trait BlockCode {
 pub struct DecodeError {
     /// Block index at which decoding failed (0 for single-block decodes).
     pub block: usize,
+    /// Why the block failed to decode.
+    pub kind: DecodeErrorKind,
+}
+
+/// Classification of a [`DecodeError`]: noise beyond the code's capability
+/// versus a structurally malformed input (which would previously panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// The error pattern exceeds the code's detectable correction capability.
+    Uncorrectable,
+    /// The codeword has the wrong length for this code.
+    LengthMismatch {
+        /// Bits supplied.
+        got: usize,
+        /// Bits the code expects.
+        expected: usize,
+    },
+    /// A multi-block word is not a whole number of codeword blocks.
+    NotBlockAligned {
+        /// Bits supplied.
+        got: usize,
+        /// Codeword block size.
+        block_bits: usize,
+    },
+    /// A multi-block word covers fewer message bits than requested.
+    TooShort {
+        /// Message bits the word covers.
+        covered: usize,
+        /// Message bits requested.
+        needed: usize,
+    },
+}
+
+impl DecodeError {
+    /// An uncorrectable error pattern in the given block.
+    pub fn uncorrectable(block: usize) -> Self {
+        Self {
+            block,
+            kind: DecodeErrorKind::Uncorrectable,
+        }
+    }
+
+    /// A codeword of the wrong length (single-block decode).
+    pub fn length_mismatch(got: usize, expected: usize) -> Self {
+        Self {
+            block: 0,
+            kind: DecodeErrorKind::LengthMismatch { got, expected },
+        }
+    }
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "uncorrectable error pattern in block {}", self.block)
+        match self.kind {
+            DecodeErrorKind::Uncorrectable => {
+                write!(f, "uncorrectable error pattern in block {}", self.block)
+            }
+            DecodeErrorKind::LengthMismatch { got, expected } => write!(
+                f,
+                "codeword length {got} does not match code ({expected}) in block {}",
+                self.block
+            ),
+            DecodeErrorKind::NotBlockAligned { got, block_bits } => write!(
+                f,
+                "codeword length {got} is not a multiple of block size {block_bits}"
+            ),
+            DecodeErrorKind::TooShort { covered, needed } => write!(
+                f,
+                "codeword covers only {covered} message bits, need {needed}"
+            ),
+        }
     }
 }
 
@@ -136,13 +202,12 @@ impl BlockCode for Concatenated {
     }
 
     fn decode(&self, word: &BitVec) -> Result<BitVec, DecodeError> {
-        assert_eq!(
-            word.len(),
-            self.codeword_bits(),
-            "codeword length {} does not match code ({})",
-            word.len(),
-            self.codeword_bits()
-        );
+        if word.len() != self.codeword_bits() {
+            return Err(DecodeError::length_mismatch(
+                word.len(),
+                self.codeword_bits(),
+            ));
+        }
         let r = self.inner.codeword_bits();
         let mut outer_word = BitVec::new();
         for g in 0..self.outer.codeword_bits() {
@@ -150,7 +215,7 @@ impl BlockCode for Concatenated {
             let decoded = self
                 .inner
                 .decode(&group)
-                .map_err(|_| DecodeError { block: g })?;
+                .map_err(|_| DecodeError::uncorrectable(g))?;
             outer_word.push(decoded.get(0).expect("one message bit"));
         }
         self.outer.decode(&outer_word)
@@ -180,34 +245,40 @@ pub fn encode_blocks<C: BlockCode>(code: &C, message: &BitVec) -> BitVec {
 ///
 /// # Errors
 ///
-/// Returns [`DecodeError`] with the failing block index.
-///
-/// # Panics
-///
-/// Panics if `word` is not a whole number of codeword blocks covering
-/// `message_len`.
+/// Returns [`DecodeError`] with the failing block index, or a structural
+/// error ([`DecodeErrorKind::NotBlockAligned`] / [`DecodeErrorKind::TooShort`])
+/// if `word` is not a whole number of codeword blocks covering `message_len`.
 pub fn decode_blocks<C: BlockCode>(
     code: &C,
     word: &BitVec,
     message_len: usize,
 ) -> Result<BitVec, DecodeError> {
     let n = code.codeword_bits();
-    assert!(
-        word.len().is_multiple_of(n),
-        "codeword length {} is not a multiple of block size {n}",
-        word.len()
-    );
+    if !word.len().is_multiple_of(n) {
+        return Err(DecodeError {
+            block: 0,
+            kind: DecodeErrorKind::NotBlockAligned {
+                got: word.len(),
+                block_bits: n,
+            },
+        });
+    }
     let blocks = word.len() / n;
-    assert!(
-        blocks * code.message_bits() >= message_len,
-        "codeword covers only {} message bits, need {message_len}",
-        blocks * code.message_bits()
-    );
+    if blocks * code.message_bits() < message_len {
+        return Err(DecodeError {
+            block: 0,
+            kind: DecodeErrorKind::TooShort {
+                covered: blocks * code.message_bits(),
+                needed: message_len,
+            },
+        });
+    }
     let mut out = BitVec::new();
     for b in 0..blocks {
         let block = BitVec::from_bits((0..n).map(|i| word.get(b * n + i).expect("in range")));
         let decoded = code.decode(&block).map_err(|e| DecodeError {
             block: b * 1000 + e.block,
+            kind: e.kind,
         })?;
         out.extend(decoded.iter());
     }
@@ -288,5 +359,75 @@ mod tests {
     #[test]
     fn correctable_errors_reports_a_positive_floor() {
         assert!(paper_code().correctable_errors() >= 11);
+    }
+
+    #[test]
+    fn wrong_length_words_are_typed_errors_not_panics() {
+        let code = paper_code();
+        let err = code.decode(&BitVec::zeros(7)).unwrap_err();
+        assert_eq!(
+            err.kind,
+            DecodeErrorKind::LengthMismatch {
+                got: 7,
+                expected: 115
+            }
+        );
+        assert!(err.to_string().contains("does not match"));
+        let golay_err = Golay::new().decode(&BitVec::zeros(22)).unwrap_err();
+        assert_eq!(
+            golay_err.kind,
+            DecodeErrorKind::LengthMismatch {
+                got: 22,
+                expected: 23
+            }
+        );
+        let rep_err = Repetition::new(5)
+            .unwrap()
+            .decode(&BitVec::zeros(4))
+            .unwrap_err();
+        assert_eq!(
+            rep_err.kind,
+            DecodeErrorKind::LengthMismatch {
+                got: 4,
+                expected: 5
+            }
+        );
+        let polar_err = PolarCode::new(256, 64, 0.05)
+            .unwrap()
+            .decode(&BitVec::new())
+            .unwrap_err();
+        assert_eq!(
+            polar_err.kind,
+            DecodeErrorKind::LengthMismatch {
+                got: 0,
+                expected: 256
+            }
+        );
+    }
+
+    #[test]
+    fn decode_blocks_rejects_malformed_words_with_typed_errors() {
+        let code = paper_code();
+        // Not block aligned.
+        let err = decode_blocks(&code, &BitVec::zeros(116), 12).unwrap_err();
+        assert_eq!(
+            err.kind,
+            DecodeErrorKind::NotBlockAligned {
+                got: 116,
+                block_bits: 115
+            }
+        );
+        // Aligned but too short for the message.
+        let err = decode_blocks(&code, &BitVec::zeros(115), 24).unwrap_err();
+        assert_eq!(
+            err.kind,
+            DecodeErrorKind::TooShort {
+                covered: 12,
+                needed: 24
+            }
+        );
+        assert!(err.to_string().contains("covers only"));
+        // Empty is a special case of both — still an error, never a panic.
+        assert!(decode_blocks(&code, &BitVec::new(), 12).is_err());
     }
 }

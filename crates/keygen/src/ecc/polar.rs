@@ -210,7 +210,9 @@ impl BlockCode for PolarCode {
     }
 
     fn decode(&self, word: &BitVec) -> Result<BitVec, DecodeError> {
-        assert_eq!(word.len(), self.n, "polar codewords are {} bits", self.n);
+        if word.len() != self.n {
+            return Err(DecodeError::length_mismatch(word.len(), self.n));
+        }
         let llr_mag = ((1.0 - self.design_p) / self.design_p).ln();
         let llr: Vec<f64> = word
             .iter()

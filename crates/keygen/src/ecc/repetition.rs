@@ -107,12 +107,9 @@ impl BlockCode for Repetition {
     }
 
     fn decode(&self, word: &BitVec) -> Result<BitVec, DecodeError> {
-        assert_eq!(
-            word.len(),
-            self.n,
-            "repetition codeword must be {} bits",
-            self.n
-        );
+        if word.len() != self.n {
+            return Err(DecodeError::length_mismatch(word.len(), self.n));
+        }
         // Majority over an odd count never ties; decoding cannot fail.
         let ones = word.count_ones();
         Ok(BitVec::from_bits([ones * 2 > self.n]))

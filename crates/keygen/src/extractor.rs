@@ -2,14 +2,15 @@
 
 use crate::debias::{enroll_debias, reconstruct_debias};
 use crate::ecc::{
-    decode_blocks, encode_blocks, BlockCode, Concatenated, DecodeError, Golay, PolarCode,
-    Repetition,
+    decode_blocks, encode_blocks, BlockCode, Concatenated, DecodeError, DecodeErrorKind, Golay,
+    PolarCode, Repetition,
 };
 use crate::sha256::{digest, hmac};
 use pufbits::BitVec;
 use rand::Rng;
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 
 /// Which error-correcting code a key was enrolled with — persisted in the
 /// helper data so reconstruction rebuilds the identical codec.
@@ -33,6 +34,60 @@ pub enum CodeSpec {
 /// Design crossover probability used for polar construction: covers the
 /// paper's end-of-life worst case with margin.
 const POLAR_DESIGN_P: f64 = 0.05;
+
+impl fmt::Display for CodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodeSpec::GolayRepetition { repetition } => write!(f, "golay-r{repetition}"),
+            CodeSpec::Polar { n, k } => write!(f, "polar-{n}-{k}"),
+        }
+    }
+}
+
+/// Error from parsing a [`CodeSpec`] token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCodeSpecError {
+    /// The rejected token.
+    pub token: String,
+}
+
+impl fmt::Display for ParseCodeSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid code spec '{}': expected golay-r<R> or polar-<N>-<K>",
+            self.token
+        )
+    }
+}
+
+impl Error for ParseCodeSpecError {}
+
+impl FromStr for CodeSpec {
+    type Err = ParseCodeSpecError;
+
+    /// Parses the textual form produced by `Display`: `golay-r<R>` for the
+    /// Golay ⊗ repetition-`R` concatenation, `polar-<N>-<K>` for a polar
+    /// code. Parsing is purely syntactic; parameter validity is checked when
+    /// the spec is built (e.g. via [`KeyGenerator::from_spec`]).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseCodeSpecError {
+            token: s.to_string(),
+        };
+        if let Some(rep) = s.strip_prefix("golay-r") {
+            let repetition = rep.parse::<usize>().map_err(|_| bad())?;
+            return Ok(CodeSpec::GolayRepetition { repetition });
+        }
+        if let Some(rest) = s.strip_prefix("polar-") {
+            let (n, k) = rest.split_once('-').ok_or_else(bad)?;
+            return Ok(CodeSpec::Polar {
+                n: n.parse::<usize>().map_err(|_| bad())?,
+                k: k.parse::<usize>().map_err(|_| bad())?,
+            });
+        }
+        Err(bad())
+    }
+}
 
 /// Code instances built from a [`CodeSpec`].
 #[derive(Debug, Clone)]
@@ -143,6 +198,10 @@ pub enum KeyError {
     },
     /// The helper data carries an invalid code specification.
     InvalidCodeSpec,
+    /// The helper data is structurally inconsistent with its code spec
+    /// (offset not a whole number of codeword blocks, or too short for the
+    /// declared secret length).
+    MalformedHelper,
 }
 
 impl fmt::Display for KeyError {
@@ -161,6 +220,9 @@ impl fmt::Display for KeyError {
                 "response is {response} bits, helper data expects {expected}"
             ),
             KeyError::InvalidCodeSpec => write!(f, "helper data carries an invalid code spec"),
+            KeyError::MalformedHelper => {
+                write!(f, "helper data is inconsistent with its code spec")
+            }
         }
     }
 }
@@ -228,9 +290,38 @@ impl KeyGenerator {
         Self { secret_bits, spec }
     }
 
+    /// Fallible constructor from an arbitrary (possibly parsed) spec — the
+    /// entry point for configuration-driven callers that cannot tolerate the
+    /// panicking constructors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::InvalidCodeSpec`] if `secret_bits == 0` or the
+    /// spec's parameters cannot build a code.
+    pub fn from_spec(secret_bits: usize, spec: CodeSpec) -> Result<Self, KeyError> {
+        if secret_bits == 0 {
+            return Err(KeyError::InvalidCodeSpec);
+        }
+        spec.build()?;
+        Ok(Self { secret_bits, spec })
+    }
+
     /// The code specification in use.
     pub fn code_spec(&self) -> CodeSpec {
         self.spec
+    }
+
+    /// The secret length the generator derives keys from.
+    pub fn secret_bits(&self) -> usize {
+        self.secret_bits
+    }
+
+    /// Raw response bits needed so that the *expected* debias yield covers
+    /// the codeword at one-probability `bias` — a sizing aid for callers
+    /// picking a profile for a given read width.
+    pub fn expected_raw_bits(&self, bias: f64) -> usize {
+        let per_bit = crate::debias::expected_yield(bias);
+        (self.required_bits() as f64 / per_bit).ceil() as usize
     }
 
     fn code(&self) -> AnyCode {
@@ -238,7 +329,7 @@ impl KeyGenerator {
     }
 
     /// Debiased bits needed to cover the codeword.
-    fn required_bits(&self) -> usize {
+    pub(crate) fn required_bits(&self) -> usize {
         let code = self.code();
         self.secret_bits.div_ceil(code.message_bits()) * code.codeword_bits()
     }
@@ -286,8 +377,9 @@ impl KeyGenerator {
     ///
     /// Returns [`KeyError::LengthMismatch`] for a response of the wrong
     /// size, [`KeyError::InsufficientMaterial`] if the mask selects too few
-    /// bits, or [`KeyError::CheckMismatch`] if the accumulated errors
-    /// exceeded the code's capability.
+    /// bits, [`KeyError::MalformedHelper`] if the offset is structurally
+    /// inconsistent with the code spec, or [`KeyError::CheckMismatch`] if
+    /// the accumulated errors exceeded the code's capability.
     pub fn reconstruct(
         &self,
         response: &BitVec,
@@ -299,7 +391,12 @@ impl KeyGenerator {
                 expected: helper.debias_mask.len(),
             });
         }
-        let material = reconstruct_debias(response, &helper.debias_mask);
+        let material = reconstruct_debias(response, &helper.debias_mask).map_err(|e| {
+            KeyError::LengthMismatch {
+                response: e.response,
+                expected: e.mask,
+            }
+        })?;
         if material.len() < helper.offset.len() {
             return Err(KeyError::InsufficientMaterial {
                 available: material.len(),
@@ -308,8 +405,13 @@ impl KeyGenerator {
         }
         let noisy_codeword = helper.offset.xor(&material.prefix(helper.offset.len()));
         let code = helper.code.build()?;
-        let secret = decode_blocks(&code, &noisy_codeword, helper.secret_bits)
-            .map_err(|_| KeyError::CheckMismatch)?;
+        let secret =
+            decode_blocks(&code, &noisy_codeword, helper.secret_bits).map_err(|e| {
+                match e.kind {
+                    DecodeErrorKind::Uncorrectable => KeyError::CheckMismatch,
+                    _ => KeyError::MalformedHelper,
+                }
+            })?;
         let key = self.derive_key(&secret);
         if Self::check_value(&key) != helper.key_check {
             return Err(KeyError::CheckMismatch);
@@ -517,6 +619,87 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, KeyError::InvalidCodeSpec);
         assert!(err.to_string().contains("invalid code spec"));
+    }
+
+    #[test]
+    fn truncated_offset_is_malformed_not_a_panic() {
+        let mut rng = StdRng::seed_from_u64(114);
+        let (sram, env) = device(114, 8192);
+        let gen = KeyGenerator::paper_default();
+        let mut e = gen
+            .enroll(&sram.power_up(&env, &mut rng), &mut rng)
+            .unwrap();
+        // Drop one bit: no longer a whole number of 115-bit blocks.
+        e.helper.offset = e.helper.offset.prefix(e.helper.offset.len() - 1);
+        let err = gen
+            .reconstruct(&sram.power_up(&env, &mut rng), &e.helper)
+            .unwrap_err();
+        assert_eq!(err, KeyError::MalformedHelper);
+        assert!(err.to_string().contains("inconsistent"));
+    }
+
+    #[test]
+    fn undersized_offset_is_malformed_not_a_panic() {
+        let mut rng = StdRng::seed_from_u64(115);
+        let (sram, env) = device(115, 8192);
+        let gen = KeyGenerator::paper_default();
+        let mut e = gen
+            .enroll(&sram.power_up(&env, &mut rng), &mut rng)
+            .unwrap();
+        // One whole block: aligned, but covers only 12 of 128 secret bits.
+        e.helper.offset = e.helper.offset.prefix(115);
+        let err = gen
+            .reconstruct(&sram.power_up(&env, &mut rng), &e.helper)
+            .unwrap_err();
+        assert_eq!(err, KeyError::MalformedHelper);
+    }
+
+    #[test]
+    fn from_spec_validates_parameters() {
+        let ok = KeyGenerator::from_spec(128, CodeSpec::GolayRepetition { repetition: 5 });
+        assert_eq!(ok.unwrap(), KeyGenerator::paper_default());
+        assert_eq!(
+            KeyGenerator::from_spec(0, CodeSpec::GolayRepetition { repetition: 5 }),
+            Err(KeyError::InvalidCodeSpec)
+        );
+        assert_eq!(
+            KeyGenerator::from_spec(128, CodeSpec::GolayRepetition { repetition: 4 }),
+            Err(KeyError::InvalidCodeSpec)
+        );
+        assert_eq!(
+            KeyGenerator::from_spec(128, CodeSpec::Polar { n: 100, k: 50 }),
+            Err(KeyError::InvalidCodeSpec)
+        );
+    }
+
+    #[test]
+    fn code_spec_display_round_trips_through_parse() {
+        for spec in [
+            CodeSpec::GolayRepetition { repetition: 5 },
+            CodeSpec::GolayRepetition { repetition: 3 },
+            CodeSpec::Polar { n: 256, k: 64 },
+            CodeSpec::Polar { n: 128, k: 32 },
+        ] {
+            let token = spec.to_string();
+            assert_eq!(token.parse::<CodeSpec>().unwrap(), spec, "{token}");
+        }
+        assert_eq!(
+            "golay-r5".parse::<CodeSpec>().unwrap(),
+            CodeSpec::GolayRepetition { repetition: 5 }
+        );
+        for bad in ["", "golay", "golay-rx", "polar-256", "polar-a-b", "bch-63"] {
+            let err = bad.parse::<CodeSpec>().unwrap_err();
+            assert!(err.to_string().contains("invalid code spec"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn expected_raw_bits_sizes_the_paper_profile() {
+        let gen = KeyGenerator::paper_default();
+        // 11 Golay blocks × 115 bits = 1265 debiased bits; at the paper's
+        // 62.7 % bias the yield is ≈0.234 per raw bit.
+        let raw = gen.expected_raw_bits(0.627);
+        assert!((5300..5500).contains(&raw), "raw {raw}");
     }
 
     #[test]

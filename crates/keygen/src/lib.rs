@@ -46,4 +46,4 @@ mod extractor;
 pub mod security;
 pub mod sha256;
 
-pub use extractor::{CodeSpec, Enrollment, HelperData, KeyError, KeyGenerator};
+pub use extractor::{CodeSpec, Enrollment, HelperData, KeyError, KeyGenerator, ParseCodeSpecError};
