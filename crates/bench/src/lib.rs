@@ -503,6 +503,8 @@ pub fn campaign_total_cycles(config: &CampaignConfig) -> u64 {
     windows * config.boards as u64 * u64::from(config.reads_per_window)
 }
 
+pub mod perf;
+
 /// Shared `--metrics-out` / `--verbose` plumbing for the CLI binaries.
 pub mod metrics {
     use pufobs::render::progress_line;

@@ -124,6 +124,54 @@ fn both_formats_and_the_converted_file_assess_byte_identically() {
 }
 
 #[test]
+fn converted_output_is_byte_identical_across_threads_and_batch_sizes() {
+    // The parallel JSON reader reuses per-worker scratch across batches;
+    // this must never leak state between records. Converting the same
+    // corpus under extreme threading/batching choices has to produce the
+    // same bytes — including batch size 1, where every record crosses a
+    // scratch-reset boundary.
+    let json = temp_path("reconv.jsonl");
+    run_campaign(&json, "json");
+
+    let mut outputs = Vec::new();
+    for (threads, batch) in [("1", "1"), ("4", "64"), ("2", "3")] {
+        let out = temp_path(&format!("reconv_t{threads}_b{batch}.pufrec"));
+        let output = Command::new(env!("CARGO_BIN_EXE_convert"))
+            .args([
+                "--in",
+                json.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+                "--format",
+                "binary",
+                "--threads",
+                threads,
+                "--batch",
+                batch,
+            ])
+            .output()
+            .expect("convert runs");
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        outputs.push(std::fs::read(&out).expect("converted file"));
+        std::fs::remove_file(&out).ok();
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "thread/batch choice changed the converted bytes"
+    );
+    assert_eq!(
+        outputs[0], outputs[2],
+        "thread/batch choice changed the converted bytes"
+    );
+
+    std::fs::remove_file(&json).ok();
+}
+
+#[test]
 fn forcing_the_format_flag_matches_auto_detection() {
     let binary = temp_path("forced.pufrec");
     run_campaign(&binary, "binary");

@@ -146,6 +146,29 @@ fn output_is_byte_identical_across_threads_and_formats() {
 }
 
 #[test]
+fn output_is_byte_identical_across_batch_sizes() {
+    // `--batch-lines` only changes how many lines each decode worker takes
+    // per lock acquisition — and therefore where the scratch-reusing fast
+    // parser's buffers reset. Batch size 1 forces a reset per record; the
+    // report must not move by a byte.
+    let mut outputs = Vec::new();
+    for batch in ["1", "5", "256"] {
+        let out = keylife(
+            &record_file("json"),
+            &["--threads", "3", "--batch-lines", batch],
+        );
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(out.stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "batch size changed the table");
+    assert_eq!(outputs[0], outputs[2], "batch size changed the table");
+}
+
+#[test]
 fn observed_rates_are_consistent_with_the_analytic_bound() {
     let csv = temp_path("bound.csv");
     let out = keylife(&record_file("json"), &["--csv", csv.to_str().unwrap()]);

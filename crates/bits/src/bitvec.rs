@@ -207,7 +207,8 @@ impl BitVec {
         }
     }
 
-    /// Number of one bits (Hamming weight).
+    /// Number of one bits (Hamming weight), one popcount per word
+    /// ([`crate::kernel::ones`]).
     ///
     /// # Examples
     ///
@@ -216,7 +217,7 @@ impl BitVec {
     /// assert_eq!(v.count_ones(), 3);
     /// ```
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernel::ones(&self.words) as usize
     }
 
     /// Number of zero bits.
@@ -275,12 +276,7 @@ impl BitVec {
                 right: other.len,
             });
         }
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(crate::kernel::hamming_distance(&self.words, &other.words) as usize)
     }
 
     /// Hamming distance divided by length (the paper's *fractional Hamming
@@ -369,6 +365,10 @@ impl BitVec {
     /// Extracts the bits selected by `mask` (positions where `mask` is one),
     /// in order. Used for stable-cell selection and debiasing masks.
     ///
+    /// Runs word-parallel ([`crate::kernel::select`]): the extraction
+    /// touches only the *set* mask bits instead of walking every position
+    /// with a get/push pair.
+    ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
@@ -390,13 +390,9 @@ impl BitVec {
             self.len,
             mask.len()
         );
-        let mut out = BitVec::new();
-        for i in 0..self.len {
-            if mask.get(i) == Some(true) {
-                out.push(self.get(i).unwrap_or(false));
-            }
-        }
-        out
+        let mut words = Vec::new();
+        let len = crate::kernel::select(&self.words, &mask.words, self.len, &mut words);
+        BitVec { words, len }
     }
 
     /// Truncated copy holding the first `len` bits.

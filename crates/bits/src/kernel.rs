@@ -1,0 +1,574 @@
+//! Word-parallel bit kernels: the hot analytic loops of the whole
+//! workspace, written once over `&[u64]` words with hardware popcount.
+//!
+//! Every statistic the assessment pipeline computes — pairwise Hamming
+//! distance (uniqueness, WCHD), ones-counting and fractional-Hamming-weight
+//! folds, per-cell one-probability accumulation, debias pair selection,
+//! run/transition counts, overlapping-window counts for the SP800-22 serial
+//! statistics — reduces to *integer* counts over a packed bit stream. These
+//! kernels compute exactly those integers 64 bits at a time; the float
+//! arithmetic layered on top (divisions, chi², erfc) is untouched, so every
+//! output is byte-identical to the per-bit formulation. The [`scalar`]
+//! submodule keeps the one-bit-at-a-time references alive as oracles:
+//! proptests pin each kernel against its scalar twin across widths that are
+//! not multiples of 64, and the bench suite times the pair to keep the
+//! speedup on the record (`BENCH_kernels.json`).
+//!
+//! ## Tail-masking rules
+//!
+//! A `len`-bit stream occupies `len.div_ceil(64)` words; bits past `len` in
+//! the last word are **always zero** ([`crate::BitVec`] maintains this
+//! invariant via its own tail masking). Kernels that combine two streams
+//! (XOR, AND) therefore need no extra masking — zeros stay zeros. Kernels
+//! that *generate* set bits (complements in [`pair_counts`], the shifted
+//! stream in [`transitions`], selection masks clipped to a shorter
+//! operand) mask the last word with [`tail_mask`] before counting, so a
+//! phantom bit past `len` can never enter a count.
+
+/// Bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// Number of words backing a `len`-bit stream.
+#[inline]
+#[must_use]
+pub fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// Mask selecting the valid bits of the *last* word of a `len`-bit stream
+/// (all ones when `len` is a multiple of 64).
+#[inline]
+#[must_use]
+pub fn tail_mask(len: usize) -> u64 {
+    let rem = len % WORD_BITS;
+    if rem == 0 {
+        !0
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// Total set bits of a tail-masked stream: one popcount per word.
+#[inline]
+#[must_use]
+pub fn ones(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Hamming distance between two equal-width tail-masked streams:
+/// XOR-word-wise with popcount. The workhorse of every pairwise
+/// uniqueness/WCHD fold.
+///
+/// # Panics
+///
+/// Panics (debug) if the word counts differ; callers check bit widths.
+#[inline]
+#[must_use]
+pub fn hamming_distance(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len(), "kernel operands must match in width");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// Set bits in the half-open bit range `start..end` of a tail-masked
+/// stream: whole words popcounted, the two edge words masked. Powers the
+/// per-block ones counts of the SP800-22 block-frequency statistic.
+///
+/// # Panics
+///
+/// Panics (debug) if `end` exceeds the stream or `start > end`.
+#[must_use]
+pub fn range_ones(words: &[u64], start: usize, end: usize) -> u64 {
+    debug_assert!(start <= end && words_for(end) <= words.len());
+    if start == end {
+        return 0;
+    }
+    let (first, last) = (start / WORD_BITS, (end - 1) / WORD_BITS);
+    if first == last {
+        let m = tail_mask(end) & !low_mask(start % WORD_BITS);
+        return u64::from((words[first] & m).count_ones());
+    }
+    let mut total = u64::from((words[first] & !low_mask(start % WORD_BITS)).count_ones());
+    for w in &words[first + 1..last] {
+        total += u64::from(w.count_ones());
+    }
+    total + u64::from((words[last] & tail_mask(end)).count_ones())
+}
+
+/// Mask of the `bits` lowest bits (`bits < 64`).
+#[inline]
+fn low_mask(bits: usize) -> u64 {
+    (1u64 << bits) - 1
+}
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight §7-3): after the
+/// call, bit `k` of `a[j]` is the original bit `j` of `a[k]`. This is the
+/// block primitive behind per-cell one-probability accumulation: 64 staged
+/// read-out words become 64 per-cell columns, each counted with a single
+/// popcount instead of 64 conditional increments.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            // Swap the high half of a[k] with the low half of a[k+j]
+            // (bit i of a word is column i — LSB-first numbering).
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Compresses the bits of `data` at the set positions of `mask` (software
+/// PEXT): bits are appended in increasing position order, exactly as the
+/// scalar get/push loop does. Only `n` bits are considered. `out` is
+/// cleared and refilled; returns the number of selected bits.
+///
+/// The inner loop runs once per *set mask bit*, not per stream bit — a
+/// masked extraction over a sparse mask touches only the survivors.
+///
+/// # Panics
+///
+/// Panics (debug) if either operand is narrower than `n` bits.
+pub fn select(data: &[u64], mask: &[u64], n: usize, out: &mut Vec<u64>) -> usize {
+    debug_assert!(words_for(n) <= data.len().min(mask.len()) || n == 0);
+    out.clear();
+    let mut acc = 0u64;
+    let mut filled = 0u32;
+    let mut count = 0usize;
+    for w in 0..words_for(n) {
+        let mut m = mask[w];
+        if (w + 1) * WORD_BITS > n {
+            m &= tail_mask(n);
+        }
+        let d = data[w];
+        while m != 0 {
+            let i = m.trailing_zeros();
+            acc |= ((d >> i) & 1) << filled;
+            filled += 1;
+            if filled == 64 {
+                out.push(acc);
+                acc = 0;
+                filled = 0;
+            }
+            count += 1;
+            m &= m - 1;
+        }
+    }
+    if filled > 0 {
+        out.push(acc);
+    }
+    count
+}
+
+/// Mask selecting even bit positions (the first bit of each
+/// non-overlapping pair).
+const EVEN_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// Von-Neumann pair selection over a `len`-bit stream, word-parallel: for
+/// every non-overlapping pair `(2p, 2p+1)` whose bits differ, sets bit
+/// `2p` of `mask_out` and appends the pair's first bit to `bits_out`.
+/// Differing pairs are found for a whole word at once via
+/// `(w ^ (w >> 1)) & EVEN`; the surviving first bits are then extracted in
+/// position order. Returns the number of selected pairs.
+///
+/// Pairs never straddle words (64 is even), so the only edge is the pair
+/// cap `2·(len/2)`: an odd trailing bit is excluded by masking, exactly as
+/// the scalar pair loop never visits it.
+pub fn pair_select(
+    words: &[u64],
+    len: usize,
+    mask_out: &mut Vec<u64>,
+    bits_out: &mut Vec<u64>,
+) -> usize {
+    mask_out.clear();
+    mask_out.resize(words_for(len), 0);
+    bits_out.clear();
+    let paired = (len / 2) * 2;
+    let mut acc = 0u64;
+    let mut filled = 0u32;
+    let mut count = 0usize;
+    for (w, &word) in words.iter().enumerate() {
+        let mut diff = (word ^ (word >> 1)) & EVEN_BITS;
+        let base = w * WORD_BITS;
+        if base + WORD_BITS > paired {
+            diff = if base >= paired {
+                0
+            } else {
+                diff & low_mask(paired - base)
+            };
+        }
+        mask_out[w] = diff;
+        let mut m = diff;
+        while m != 0 {
+            let i = m.trailing_zeros();
+            acc |= ((word >> i) & 1) << filled;
+            filled += 1;
+            if filled == 64 {
+                bits_out.push(acc);
+                acc = 0;
+                filled = 0;
+            }
+            count += 1;
+            m &= m - 1;
+        }
+    }
+    if filled > 0 {
+        bits_out.push(acc);
+    }
+    count
+}
+
+/// Number of positions `i ∈ 1..len` where bit `i` differs from bit `i−1`
+/// (the SP800-22 runs statistic's `V_n − 1`): each word is XORed with
+/// itself shifted up by one, the carry chaining the previous word's top
+/// bit. The first word's carry is its own bit 0, so position 0 never
+/// counts as a transition.
+#[must_use]
+pub fn transitions(words: &[u64], len: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let last = words_for(len) - 1;
+    let mut carry = words[0] & 1;
+    let mut total = 0u64;
+    for (w, &word) in words[..=last].iter().enumerate() {
+        let mut d = word ^ ((word << 1) | carry);
+        if w == last {
+            d &= tail_mask(len);
+        }
+        total += u64::from(d.count_ones());
+        carry = word >> 63;
+    }
+    total
+}
+
+/// Adjacent-pair transition counts `counts[prev][cur]` over `i ∈ 1..len`
+/// (the Markov entropy estimator's contingency table): the shifted stream
+/// `(w << 1) | carry` aligns each bit with its predecessor, and the four
+/// cells are popcounts of the four AND combinations, with position 0 and
+/// the tail masked out of validity.
+#[must_use]
+pub fn pair_counts(words: &[u64], len: usize) -> [[u64; 2]; 2] {
+    let mut counts = [[0u64; 2]; 2];
+    if len < 2 {
+        return counts;
+    }
+    let last = words_for(len) - 1;
+    let mut carry = 0u64;
+    for (w, &word) in words[..=last].iter().enumerate() {
+        let prev = (word << 1) | carry;
+        let mut valid = !0u64;
+        if w == 0 {
+            valid &= !1;
+        }
+        if w == last {
+            valid &= tail_mask(len);
+        }
+        counts[1][1] += u64::from((word & prev & valid).count_ones());
+        counts[0][1] += u64::from((word & !prev & valid).count_ones());
+        counts[1][0] += u64::from((!word & prev & valid).count_ones());
+        counts[0][0] += u64::from((!word & !prev & valid).count_ones());
+        carry = word >> 63;
+    }
+    counts
+}
+
+/// Occurrence counts of every overlapping (cyclic) `m`-bit window of a
+/// `len`-bit stream, indexed exactly as the SP800-22 serial/approximate-
+/// entropy scan indexes them: the window starting at position `j` has
+/// value `Σₜ bit((j+t) mod len) << (m−1−t)` — first bit most significant.
+///
+/// Word-parallel construction: `m` cyclically shifted copies of the stream
+/// are built (each from the previous by a one-bit funnel shift plus the
+/// wrapped bit), then each of the `2^m` window values is a popcount of the
+/// AND of the copies or their complements. Integer counts only, so the
+/// derived ψ²/φ statistics match the scalar scan bit for bit.
+///
+/// Intended for the small `m` of the standard suite (`m ≤ 8`); cost grows
+/// as `2^m` popcount passes.
+///
+/// # Panics
+///
+/// Panics if `m > 16` (the suite never goes near it; `2^m` tables past
+/// that are a bug, not a workload).
+#[must_use]
+pub fn window_counts(words: &[u64], len: usize, m: usize) -> Vec<u64> {
+    assert!(m <= 16, "window_counts is for small m (got {m})");
+    if m == 0 {
+        return vec![len as u64];
+    }
+    if len == 0 {
+        return vec![0; 1 << m];
+    }
+    let nwords = words_for(len);
+    // shifted[t][j] = bit((j + t) mod len); shifted[0] is the stream itself.
+    let mut shifted: Vec<Vec<u64>> = Vec::with_capacity(m);
+    shifted.push(words[..nwords].to_vec());
+    for t in 1..m {
+        let prev = &shifted[t - 1];
+        let mut next = vec![0u64; nwords];
+        for j in 0..nwords {
+            let hi = if j + 1 < nwords { prev[j + 1] } else { 0 };
+            next[j] = (prev[j] >> 1) | (hi << 63);
+        }
+        // The wrapped bit: position len−1 of the shifted stream receives
+        // original bit (t−1) mod len — cyclic, not zero-fill (the modulus
+        // matters once m exceeds len and the stream wraps more than once).
+        let src = (t - 1) % len;
+        let wrap = (words[src / WORD_BITS] >> (src % WORD_BITS)) & 1;
+        next[(len - 1) / WORD_BITS] |= wrap << ((len - 1) % WORD_BITS);
+        shifted.push(next);
+    }
+    let mut counts = vec![0u64; 1 << m];
+    let tail = tail_mask(len);
+    for (v, count) in counts.iter_mut().enumerate() {
+        for j in 0..nwords {
+            let mut acc = if j == nwords - 1 { tail } else { !0u64 };
+            for (t, stream) in shifted.iter().enumerate() {
+                let want_one = (v >> (m - 1 - t)) & 1 == 1;
+                acc &= if want_one { stream[j] } else { !stream[j] };
+            }
+            *count += u64::from(acc.count_ones());
+        }
+    }
+    counts
+}
+
+/// One-bit-at-a-time reference implementations of every kernel above.
+///
+/// These are **oracles**, not production code: the equivalence proptests
+/// (`crates/bits/tests/kernel_equivalence.rs`) pin each word-parallel
+/// kernel against its scalar twin with zero tolerance, and the perf suite
+/// (`crates/bench/src/perf.rs`) times the pair so `BENCH_kernels.json`
+/// records the speedup every CI run re-checks.
+pub mod scalar {
+    use super::{words_for, WORD_BITS};
+
+    /// Bit `i` of a packed stream.
+    #[inline]
+    #[must_use]
+    pub fn get_bit(words: &[u64], i: usize) -> bool {
+        (words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Per-bit twin of [`super::ones`].
+    #[must_use]
+    pub fn ones(words: &[u64], len: usize) -> u64 {
+        (0..len).filter(|&i| get_bit(words, i)).count() as u64
+    }
+
+    /// Per-bit twin of [`super::hamming_distance`].
+    #[must_use]
+    pub fn hamming_distance(a: &[u64], b: &[u64], len: usize) -> u64 {
+        (0..len).filter(|&i| get_bit(a, i) != get_bit(b, i)).count() as u64
+    }
+
+    /// Per-bit twin of [`super::range_ones`].
+    #[must_use]
+    pub fn range_ones(words: &[u64], start: usize, end: usize) -> u64 {
+        (start..end).filter(|&i| get_bit(words, i)).count() as u64
+    }
+
+    /// Per-bit twin of [`super::select`].
+    pub fn select(data: &[u64], mask: &[u64], n: usize, out: &mut Vec<u64>) -> usize {
+        out.clear();
+        let mut count = 0usize;
+        for i in 0..n {
+            if get_bit(mask, i) {
+                if count.is_multiple_of(WORD_BITS) {
+                    out.push(0);
+                }
+                if get_bit(data, i) {
+                    *out.last_mut().expect("pushed above") |= 1u64 << (count % WORD_BITS);
+                }
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Per-bit twin of [`super::pair_select`].
+    pub fn pair_select(
+        words: &[u64],
+        len: usize,
+        mask_out: &mut Vec<u64>,
+        bits_out: &mut Vec<u64>,
+    ) -> usize {
+        mask_out.clear();
+        mask_out.resize(words_for(len), 0);
+        bits_out.clear();
+        let mut count = 0usize;
+        for p in 0..len / 2 {
+            let a = get_bit(words, 2 * p);
+            let b = get_bit(words, 2 * p + 1);
+            if a != b {
+                mask_out[(2 * p) / WORD_BITS] |= 1u64 << ((2 * p) % WORD_BITS);
+                if count.is_multiple_of(WORD_BITS) {
+                    bits_out.push(0);
+                }
+                if a {
+                    *bits_out.last_mut().expect("pushed above") |= 1u64 << (count % WORD_BITS);
+                }
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Per-bit twin of [`super::transitions`].
+    #[must_use]
+    pub fn transitions(words: &[u64], len: usize) -> u64 {
+        (1..len)
+            .filter(|&i| get_bit(words, i) != get_bit(words, i - 1))
+            .count() as u64
+    }
+
+    /// Per-bit twin of [`super::pair_counts`].
+    #[must_use]
+    pub fn pair_counts(words: &[u64], len: usize) -> [[u64; 2]; 2] {
+        let mut counts = [[0u64; 2]; 2];
+        if len < 2 {
+            return counts;
+        }
+        let mut prev = usize::from(get_bit(words, 0));
+        for i in 1..len {
+            let cur = usize::from(get_bit(words, i));
+            counts[prev][cur] += 1;
+            prev = cur;
+        }
+        counts
+    }
+
+    /// Per-bit twin of [`super::window_counts`] — the literal SP800-22
+    /// sliding-window scan.
+    #[must_use]
+    pub fn window_counts(words: &[u64], len: usize, m: usize) -> Vec<u64> {
+        if m == 0 {
+            return vec![len as u64];
+        }
+        let mut counts = vec![0u64; 1 << m];
+        if len == 0 {
+            return counts;
+        }
+        let mask = (1usize << m) - 1;
+        let mut window = 0usize;
+        for i in 0..len + m - 1 {
+            let bit = get_bit(words, i % len);
+            window = ((window << 1) | usize::from(bit)) & mask;
+            if i >= m - 1 {
+                counts[window] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(len: usize, seed: u64) -> Vec<u64> {
+        // Deterministic pseudo-random words, tail-masked.
+        let mut words = vec![0u64; words_for(len)];
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for w in words.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *w = x;
+        }
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask(len);
+        }
+        words
+    }
+
+    #[test]
+    fn tail_mask_boundaries() {
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(128), !0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(63), (1u64 << 63) - 1);
+        assert_eq!(tail_mask(65), 1);
+    }
+
+    #[test]
+    fn transpose_is_an_involution_and_moves_bits() {
+        let mut a = [0u64; 64];
+        for (i, w) in a.iter_mut().enumerate() {
+            *w = (i as u64).wrapping_mul(0x0101_0101_0101_0101) ^ (1u64 << i);
+        }
+        let original = a;
+        transpose64(&mut a);
+        for (r, row) in original.iter().enumerate() {
+            for (c, col) in a.iter().enumerate() {
+                assert_eq!((col >> r) & 1, (row >> c) & 1, "transpose bit ({r},{c})");
+            }
+        }
+        transpose64(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn kernels_match_scalar_on_awkward_widths() {
+        for &len in &[0usize, 1, 2, 63, 64, 65, 127, 128, 129, 1000] {
+            let a = stream(len, len as u64 + 1);
+            let b = stream(len, len as u64 + 1000);
+            assert_eq!(ones(&a), scalar::ones(&a, len), "ones len {len}");
+            assert_eq!(
+                hamming_distance(&a, &b),
+                scalar::hamming_distance(&a, &b, len),
+                "hd len {len}"
+            );
+            assert_eq!(
+                transitions(&a, len),
+                scalar::transitions(&a, len),
+                "transitions len {len}"
+            );
+            assert_eq!(
+                pair_counts(&a, len),
+                scalar::pair_counts(&a, len),
+                "pair_counts len {len}"
+            );
+            let (mut mw, mut bw, mut smw, mut sbw) = (vec![], vec![], vec![], vec![]);
+            let n = pair_select(&a, len, &mut mw, &mut bw);
+            let sn = scalar::pair_select(&a, len, &mut smw, &mut sbw);
+            assert_eq!((n, &mw, &bw), (sn, &smw, &sbw), "pair_select len {len}");
+            let (mut ow, mut sow) = (vec![], vec![]);
+            let c = select(&a, &b, len, &mut ow);
+            let sc = scalar::select(&a, &b, len, &mut sow);
+            assert_eq!((c, &ow), (sc, &sow), "select len {len}");
+            for m in 1..=3 {
+                assert_eq!(
+                    window_counts(&a, len, m),
+                    scalar::window_counts(&a, len, m),
+                    "window_counts len {len} m {m}"
+                );
+            }
+            for (start, end) in [(0, len), (len / 3, 2 * len / 3), (len, len)] {
+                assert_eq!(
+                    range_ones(&a, start, end),
+                    scalar::range_ones(&a, start, end),
+                    "range_ones {start}..{end} of {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_counts_cover_every_start_position() {
+        for &(len, m) in &[(10usize, 3usize), (64, 2), (65, 3), (129, 1)] {
+            let w = stream(len, 7);
+            let total: u64 = window_counts(&w, len, m).iter().sum();
+            assert_eq!(total, len as u64, "every start counted once");
+        }
+    }
+}

@@ -12,6 +12,11 @@
 //! * [`OnesCounter`] — a streaming per-bit one-count accumulator that turns an
 //!   unbounded stream of read-outs into per-cell one-probabilities without
 //!   storing the read-outs themselves.
+//! * [`BlockCounter`] — a 64-row staging wrapper around [`OnesCounter`] that
+//!   accumulates via the word-level transpose kernel instead of per-set-bit
+//!   increments.
+//! * [`kernel`] — the word-parallel (u64 + hardware popcount) primitives all
+//!   of the above are built on, with per-bit scalar reference oracles.
 //!
 //! # Examples
 //!
@@ -26,11 +31,12 @@
 
 mod bitvec;
 mod counter;
+pub mod kernel;
 mod matrix;
 mod rng;
 
 pub use bitvec::{BitVec, Bytes, Iter};
-pub use counter::OnesCounter;
+pub use counter::{BlockCounter, OnesCounter};
 pub use matrix::BitMatrix;
 pub use rng::PufRng;
 

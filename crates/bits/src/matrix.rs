@@ -1,6 +1,6 @@
 //! Rectangular stacks of equal-length read-outs.
 
-use crate::{BitVec, MismatchedLengthError, OnesCounter};
+use crate::{BitVec, BlockCounter, MismatchedLengthError, OnesCounter};
 
 /// A rectangular collection of equal-length [`BitVec`] rows.
 ///
@@ -99,13 +99,31 @@ impl BitMatrix {
         self.rows.iter()
     }
 
-    /// Accumulates all rows into a fresh [`OnesCounter`].
+    /// Accumulates all rows into a fresh [`OnesCounter`], 64 rows at a time
+    /// through the word-level transpose ([`BlockCounter`]).
     pub fn ones_counter(&self) -> OnesCounter {
-        let mut c = OnesCounter::new(self.width);
+        let mut c = BlockCounter::new(self.width);
         for row in &self.rows {
             c.add(row).expect("matrix rows are width-checked");
         }
-        c
+        c.into_counter()
+    }
+
+    /// Hamming distance between every unordered pair of rows, as raw bit
+    /// counts — the integer core of [`pairwise_fhd`](Self::pairwise_fhd),
+    /// XOR-word-wise with popcount ([`crate::kernel::hamming_distance`]).
+    pub fn pairwise_distances(&self) -> Vec<u64> {
+        let n = self.rows.len();
+        let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push(crate::kernel::hamming_distance(
+                    self.rows[i].as_words(),
+                    self.rows[j].as_words(),
+                ));
+            }
+        }
+        out
     }
 
     /// Fractional Hamming distance of every row to `reference`
@@ -131,16 +149,18 @@ impl BitMatrix {
 
     /// Fractional Hamming distance between every unordered pair of rows
     /// (the paper's between-class HD when each row is a different device's
-    /// reference). Returns `rows*(rows-1)/2` values.
+    /// reference). Returns `rows*(rows-1)/2` values: the integer distances
+    /// of [`pairwise_distances`](Self::pairwise_distances), each divided by
+    /// the width exactly as the per-pair scalar formulation divides.
     pub fn pairwise_fhd(&self) -> Vec<f64> {
-        let n = self.rows.len();
-        let mut out = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                out.push(self.rows[i].fractional_hamming_distance(&self.rows[j]));
-            }
+        if self.width == 0 {
+            let n = self.rows.len();
+            return vec![0.0; n * n.saturating_sub(1) / 2];
         }
-        out
+        self.pairwise_distances()
+            .into_iter()
+            .map(|hd| hd as f64 / self.width as f64)
+            .collect()
     }
 
     /// Fractional Hamming weight of every row.

@@ -1,0 +1,140 @@
+//! Word-parallel kernels vs their per-bit scalar oracles.
+//!
+//! Every kernel in `pufbits::kernel` must be *byte-identical* to its
+//! `kernel::scalar` twin — no tolerance, because every statistic in the
+//! assessment pipeline is derived from these integer counts and the PR 3/7
+//! golden outputs are pinned to them. The widths deliberately straddle the
+//! word size (0-, 1-, 63-, 65-bit tails) where tail-masking bugs live, and
+//! the sharded cases check that splitting work across merge boundaries
+//! (the parallel readers' shard counts) changes nothing.
+
+use proptest::prelude::*;
+use pufbits::{kernel, BitVec, BlockCounter, OnesCounter};
+
+/// Widths that exercise every tail-masking edge.
+const AWKWARD: [usize; 12] = [0, 1, 2, 63, 64, 65, 127, 128, 129, 191, 192, 1000];
+
+/// Deterministic word stream (xorshift64*) so each proptest case covers all
+/// awkward widths with one drawn seed.
+fn stream(len: usize, mut seed: u64) -> Vec<u64> {
+    seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (0..len.div_ceil(64))
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        })
+        .collect()
+}
+
+/// Masks the tail so the stream is a valid `BitVec` word image.
+fn masked(len: usize, seed: u64) -> Vec<u64> {
+    let mut words = stream(len, seed);
+    if let Some(last) = words.last_mut() {
+        *last &= kernel::tail_mask(len);
+    }
+    words
+}
+
+proptest! {
+    #[test]
+    fn counting_kernels_match_scalar_oracles(seed in any::<u64>(), extra in 0usize..500) {
+        for len in AWKWARD.into_iter().chain([extra]) {
+            let a = masked(len, seed);
+            let b = masked(len, seed.wrapping_add(1));
+
+            prop_assert_eq!(kernel::ones(&a), kernel::scalar::ones(&a, len));
+            prop_assert_eq!(
+                kernel::hamming_distance(&a, &b),
+                kernel::scalar::hamming_distance(&a, &b, len)
+            );
+            prop_assert_eq!(kernel::transitions(&a, len), kernel::scalar::transitions(&a, len));
+            prop_assert_eq!(kernel::pair_counts(&a, len), kernel::scalar::pair_counts(&a, len));
+
+            // Sub-word ranges, including empty and full.
+            for (start, end) in [(0, len), (len / 3, len), (0, len / 2), (len / 2, len / 2)] {
+                prop_assert_eq!(
+                    kernel::range_ones(&a, start, end),
+                    kernel::scalar::range_ones(&a, start, end),
+                    "range [{}, {}) of {}", start, end, len
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_kernels_match_scalar_oracles(seed in any::<u64>(), extra in 0usize..500) {
+        for len in AWKWARD.into_iter().chain([extra]) {
+            let data = masked(len, seed);
+            let mask = masked(len, seed.wrapping_add(2));
+
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            let n_fast = kernel::select(&data, &mask, len, &mut fast);
+            let n_slow = kernel::scalar::select(&data, &mask, len, &mut slow);
+            prop_assert_eq!(n_fast, n_slow, "select count at len {}", len);
+            prop_assert_eq!(&fast, &slow, "select words at len {}", len);
+
+            let (mut fm, mut fb) = (Vec::new(), Vec::new());
+            let (mut sm, mut sb) = (Vec::new(), Vec::new());
+            let p_fast = kernel::pair_select(&data, len, &mut fm, &mut fb);
+            let p_slow = kernel::scalar::pair_select(&data, len, &mut sm, &mut sb);
+            prop_assert_eq!(p_fast, p_slow, "pair count at len {}", len);
+            prop_assert_eq!(&fm, &sm, "pair mask at len {}", len);
+            prop_assert_eq!(&fb, &sb, "pair bits at len {}", len);
+        }
+    }
+
+    #[test]
+    fn window_counts_match_the_sliding_scan(seed in any::<u64>(), extra in 0usize..300) {
+        for len in AWKWARD.into_iter().chain([extra]) {
+            let words = masked(len, seed);
+            for m in 0..=6usize {
+                prop_assert_eq!(
+                    kernel::window_counts(&words, len, m),
+                    kernel::scalar::window_counts(&words, len, m),
+                    "window m={} len={}", m, len
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_counter_is_identical_across_shard_counts(
+        seed in any::<u64>(),
+        width in 1usize..200,
+        rows in 1usize..150,
+        shards in 1usize..8,
+    ) {
+        let readouts: Vec<BitVec> = (0..rows)
+            .map(|r| BitVec::from_words(masked(width, seed.wrapping_add(r as u64)), width))
+            .collect();
+
+        // Reference: the plain per-set-bit counter over the whole stream.
+        let mut reference = OnesCounter::new(width);
+        for r in &readouts {
+            reference.add(r).unwrap();
+        }
+
+        // One block counter over the whole stream.
+        let mut whole = BlockCounter::new(width);
+        for r in &readouts {
+            whole.add(r).unwrap();
+        }
+        prop_assert_eq!(&whole.into_counter(), &reference);
+
+        // Sharded: split the rows across `shards` block counters (uneven
+        // chunks, so flush boundaries differ per shard) and merge.
+        let chunk = rows.div_ceil(shards);
+        let mut merged = OnesCounter::new(width);
+        for rows in readouts.chunks(chunk) {
+            let mut shard = BlockCounter::new(width);
+            for r in rows {
+                shard.add(r).unwrap();
+            }
+            merged.merge(&shard.into_counter()).unwrap();
+        }
+        prop_assert_eq!(&merged, &reference);
+    }
+}

@@ -1,5 +1,10 @@
 //! The full assessment pipeline: campaign dataset → Fig. 6 development
 //! series → Table I.
+//!
+//! The per-window statistics it folds (WCHD, FHW, per-cell one-counts) are
+//! computed word-parallel by `pufbits` — popcount Hamming kernels and the
+//! block-transpose counter — and stay bit-exact against the per-bit scalar
+//! oracles, so the committed golden outputs pin this path too.
 
 use crate::entropy::{noise_entropy, puf_entropy, stable_cell_ratio};
 use crate::metrics::{within_class_hd, InitialQuality};

@@ -1,4 +1,9 @@
 //! PUF entropy (uniqueness) and noise entropy (randomness), §IV-B4/§IV-C2.
+//!
+//! Per-cell one-counts arrive as [`OnesCounter`] totals, accumulated
+//! upstream via `pufbits`' block-transpose kernel (`BlockCounter`); the
+//! entropy estimators only ever see exact integer counts, so the kernel
+//! migration cannot move their output.
 
 use pufbits::{BitMatrix, OnesCounter};
 use pufstats::entropy::average_min_entropy;

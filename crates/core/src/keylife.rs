@@ -10,6 +10,11 @@
 //! failures next to the analytic bound derived from that month's worst-case
 //! WCHD.
 //!
+//! Reconstruction replays lean on the same word-parallel `pufbits` kernels
+//! as the assessment fold (popcount Hamming distance for the WCHD-derived
+//! bounds, kernelized debias/XOR paths inside [`pufkeygen`]), so the
+//! observed-vs-bound table is bit-identical to a per-bit implementation.
+//!
 //! [`KeyLifeAccumulator`] is the streaming, bounded-memory path, folding
 //! records one at a time exactly like
 //! [`WindowAccumulator`](crate::streaming::WindowAccumulator): the same

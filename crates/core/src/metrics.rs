@@ -1,4 +1,10 @@
 //! The base metrics of the paper's §IV-A: WCHD, BCHD, and FHW.
+//!
+//! All distance and weight folds run word-parallel through
+//! [`pufbits::kernel`] (XOR + hardware popcount via `BitMatrix`/`BitVec`);
+//! the per-read fraction divisions happen in the same order as a per-bit
+//! scan would produce them, so the reported floats are bit-exact against
+//! the scalar oracles.
 
 use pufbits::{BitMatrix, BitVec};
 use pufstats::{Histogram, Summary};

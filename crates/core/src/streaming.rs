@@ -36,7 +36,7 @@ use crate::assessment::{AssessError, Assessment, DeviceMonth, MonthlyAggregate};
 use crate::entropy::{noise_entropy, stable_cell_ratio};
 use crate::metrics::InitialQuality;
 use crate::monthly::EvaluationProtocol;
-use pufbits::{BitMatrix, BitVec, OnesCounter};
+use pufbits::{BitMatrix, BitVec, BlockCounter, OnesCounter};
 use pufobs::{Counter, Gauge, Instruments};
 use pufstats::Summary;
 use puftestbed::store::RecordSink;
@@ -50,7 +50,10 @@ use std::io;
 struct WindowState {
     device: BoardId,
     year_month: (i32, u8),
-    counter: OnesCounter,
+    /// Per-cell one-counts, staged 64 rows at a time through the word-level
+    /// transpose kernel and flushed into a plain [`OnesCounter`] at
+    /// [`finish`](WindowAccumulator::finish).
+    counter: BlockCounter,
     first_read: BitVec,
     /// Running sum of per-read FHD against the device reference, in arrival
     /// order (bit-identical to summing the retained rows).
@@ -67,6 +70,19 @@ struct WindowState {
 struct WindowSamples {
     wchd: Vec<f64>,
     fhw: Vec<f64>,
+}
+
+/// [`WindowState`] with its block counter flushed into a plain
+/// [`OnesCounter`] — the form the finalization metrics consume.
+#[derive(Debug, Clone)]
+struct FinishedWindow {
+    device: BoardId,
+    year_month: (i32, u8),
+    counter: OnesCounter,
+    first_read: BitVec,
+    wchd_sum: f64,
+    fhw_sum: f64,
+    samples: Option<WindowSamples>,
 }
 
 /// Per-device reference tracking: the first read-out of the device's
@@ -311,7 +327,7 @@ impl WindowAccumulator {
             WindowState {
                 device: record.device,
                 year_month: ym,
-                counter: OnesCounter::new(record.data.len()),
+                counter: BlockCounter::new(record.data.len()),
                 first_read: record.data.clone(),
                 wchd_sum: 0.0,
                 fhw_sum: 0.0,
@@ -351,9 +367,30 @@ impl WindowAccumulator {
             return Err(AssessError::NoWindows);
         }
 
+        // Flush every window's staged rows into its plain counter; the
+        // BTreeMap iteration order (and thus every float sum) is unchanged.
+        let windows: BTreeMap<(u8, i32, u8), FinishedWindow> = self
+            .windows
+            .into_iter()
+            .map(|(key, w)| {
+                (
+                    key,
+                    FinishedWindow {
+                        device: w.device,
+                        year_month: w.year_month,
+                        counter: w.counter.into_counter(),
+                        first_read: w.first_read,
+                        wchd_sum: w.wchd_sum,
+                        fhw_sum: w.fhw_sum,
+                        samples: w.samples,
+                    },
+                )
+            })
+            .collect();
+
         // Mirror `Assessment::from_records` step for step (and in the same
         // iteration order) so every derived float is bit-identical.
-        let mut months: Vec<(i32, u8)> = self.windows.values().map(|w| w.year_month).collect();
+        let mut months: Vec<(i32, u8)> = windows.values().map(|w| w.year_month).collect();
         months.sort_unstable();
         months.dedup();
         let month_index: BTreeMap<(i32, u8), u32> = months
@@ -364,7 +401,7 @@ impl WindowAccumulator {
         let first_month = months[0];
 
         let mut devices: Vec<BoardId> = Vec::new();
-        for w in self.windows.values() {
+        for w in windows.values() {
             if !devices.contains(&w.device) {
                 devices.push(w.device);
             }
@@ -381,8 +418,8 @@ impl WindowAccumulator {
             }
         }
 
-        let mut device_months = Vec::with_capacity(self.windows.len());
-        for w in self.windows.values() {
+        let mut device_months = Vec::with_capacity(windows.len());
+        for w in windows.values() {
             // A window only exists once a record folded into it (the cap
             // check precedes opening for zero-read protocols), so the
             // division is never 0/0.
@@ -405,8 +442,7 @@ impl WindowAccumulator {
                 .iter()
                 .filter(|d| d.year_month == ym)
                 .collect();
-            let firsts: BitMatrix = self
-                .windows
+            let firsts: BitMatrix = windows
                 .values()
                 .filter(|w| w.year_month == ym)
                 .map(|w| w.first_read.clone())
@@ -430,11 +466,7 @@ impl WindowAccumulator {
         let mut wchd_samples = Vec::new();
         let mut fhw_samples = Vec::new();
         let mut references = Vec::new();
-        for w in self
-            .windows
-            .values()
-            .filter(|w| w.year_month == first_month)
-        {
+        for w in windows.values().filter(|w| w.year_month == first_month) {
             let samples = w
                 .samples
                 .as_ref()
@@ -449,8 +481,7 @@ impl WindowAccumulator {
 
         let assessment =
             Assessment::from_parts(self.protocol, device_months, aggregates, initial_quality);
-        let snapshots = self
-            .windows
+        let snapshots = windows
             .into_values()
             .map(|w| WindowSnapshot {
                 device: w.device,

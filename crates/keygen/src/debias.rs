@@ -61,18 +61,20 @@ pub struct DebiasSelection {
 /// assert_eq!(sel.mask.count_ones(), 2);
 /// ```
 pub fn enroll_debias(response: &BitVec) -> DebiasSelection {
-    let mut mask = BitVec::zeros(response.len());
-    let mut bits = BitVec::new();
-    let pairs = response.len() / 2;
-    for p in 0..pairs {
-        let a = response.get(2 * p).expect("in range");
-        let b = response.get(2 * p + 1).expect("in range");
-        if a != b {
-            mask.set(2 * p, true);
-            bits.push(a);
-        }
+    // Differing pairs are found a whole word at a time:
+    // `(w ^ (w >> 1)) & 0x5555…` marks the first bit of every selected pair.
+    let mut mask_words = Vec::new();
+    let mut bits_words = Vec::new();
+    let count = pufbits::kernel::pair_select(
+        response.as_words(),
+        response.len(),
+        &mut mask_words,
+        &mut bits_words,
+    );
+    DebiasSelection {
+        mask: BitVec::from_words(mask_words, response.len()),
+        bits: BitVec::from_words(bits_words, count),
     }
-    DebiasSelection { mask, bits }
 }
 
 /// Re-extracts the debiased bits from a later (noisy) response using the
@@ -226,6 +228,30 @@ mod tests {
             assert!(sel.bits.is_empty(), "constant response has no pairs");
             assert_eq!(sel.mask.count_ones(), 0);
             assert!(reconstruct_debias(&response, &sel.mask).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn enroll_matches_per_pair_scalar_loop_exactly() {
+        // The word-parallel pair selection must reproduce the original
+        // per-pair scan bit for bit, including odd-length tails.
+        for &n in &[0usize, 1, 2, 3, 63, 64, 65, 127, 128, 129, 1001] {
+            for seed in 0..4u64 {
+                let response = biased_response(n, 0.627, 700 + seed);
+                let mut mask = BitVec::zeros(response.len());
+                let mut bits = BitVec::new();
+                for p in 0..response.len() / 2 {
+                    let a = response.get(2 * p).unwrap();
+                    let b = response.get(2 * p + 1).unwrap();
+                    if a != b {
+                        mask.set(2 * p, true);
+                        bits.push(a);
+                    }
+                }
+                let sel = enroll_debias(&response);
+                assert_eq!(sel.mask, mask, "mask n={n} seed={seed}");
+                assert_eq!(sel.bits, bits, "bits n={n} seed={seed}");
+            }
         }
     }
 

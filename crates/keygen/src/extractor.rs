@@ -1,4 +1,9 @@
 //! The code-offset fuzzy extractor: enroll once, reconstruct forever.
+//!
+//! The bulk bit operations — debias pair selection at enrollment, the
+//! helper-data XOR offsets here — run word-parallel via `pufbits` (the
+//! `pair_select` kernel and `BitVec`'s word-wise XOR), producing the same
+//! bits as a per-pair scan; key material is unchanged by the kernel path.
 
 use crate::debias::{enroll_debias, reconstruct_debias};
 use crate::ecc::{

@@ -341,6 +341,43 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_edges_hold_at_every_power_of_two() {
+        // Lock the documented invariant: bucket 0 holds only the value 0,
+        // bucket i ≥ 1 holds exactly [2^(i-1), 2^i). Checked at every
+        // boundary ±1 up to and including the top bucket.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1); // [1, 2)
+        for i in 1..=63usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(Histogram::bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "high edge of bucket {i}");
+            assert_eq!(
+                Histogram::bucket_index(hi) + 1,
+                Histogram::bucket_index(hi + 1),
+                "boundary 2^{i} splits buckets"
+            );
+        }
+        // Top bucket: everything with bit 63 set, up to u64::MAX.
+        assert_eq!(Histogram::bucket_index(1u64 << 63), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(BUCKETS, 65, "bucket 64 must exist for top-bit values");
+    }
+
+    #[test]
+    fn histogram_extreme_values_do_not_panic_or_misfile() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (64, 1)]);
+    }
+
+    #[test]
     fn histogram_tracks_exact_aggregates() {
         let h = Histogram::new();
         for v in [0, 1, 5, 5, 1000] {

@@ -8,7 +8,7 @@
 //! matches the tests commonly applied to PUF-based TRNGs in the literature.
 
 use crate::special::{erfc, gamma_q};
-use pufbits::BitVec;
+use pufbits::{kernel, BitVec};
 use std::fmt;
 
 /// Significance level below which a test is declared failed (NIST default).
@@ -109,11 +109,13 @@ pub fn block_frequency(bits: &BitVec, m: usize) -> Result<TestResult, Insufficie
     assert!(m > 0, "block length must be positive");
     require(bits, m)?;
     let n_blocks = bits.len() / m;
+    let words = bits.as_words();
     let mut chi2 = 0.0;
+    // Per-block one-counts come from the edge-masked word fold; the chi²
+    // accumulation stays in block order, so the float result is identical
+    // to the per-bit scan.
     for b in 0..n_blocks {
-        let ones = (0..m)
-            .filter(|&i| bits.get(b * m + i) == Some(true))
-            .count();
+        let ones = kernel::range_ones(words, b * m, b * m + m);
         let pi = ones as f64 / m as f64;
         chi2 += (pi - 0.5).powi(2);
     }
@@ -145,12 +147,8 @@ fn runs_p(bits: &BitVec) -> f64 {
     if (pi - 0.5).abs() >= 2.0 / n.sqrt() {
         return 0.0;
     }
-    let mut v = 1u64;
-    for i in 1..bits.len() {
-        if bits.get(i) != bits.get(i - 1) {
-            v += 1;
-        }
-    }
+    // V(obs) = number of runs = boundary transitions + 1, counted word-wise.
+    let v = kernel::transitions(bits.as_words(), bits.len()) + 1;
     let num = (v as f64 - 2.0 * n * pi * (1.0 - pi)).abs();
     let den = 2.0 * (2.0 * n).sqrt() * pi * (1.0 - pi);
     erfc(num / den)
@@ -256,17 +254,9 @@ pub fn serial(bits: &BitVec, m: usize) -> Result<TestResult, InsufficientBitsErr
             return 0.0;
         }
         let n = bits.len();
-        let mut counts = vec![0u64; 1 << mm];
-        let mut window = 0usize;
-        let mask = (1 << mm) - 1;
-        // Prime the first mm-1 bits (cyclic extension).
-        for i in 0..n + mm - 1 {
-            let bit = bits.get(i % n).expect("cyclic index in range");
-            window = ((window << 1) | usize::from(bit)) & mask;
-            if i >= mm - 1 {
-                counts[window] += 1;
-            }
-        }
+        // Cyclic overlapping-window counts, word-parallel; iterated in the
+        // same pattern-value order the per-bit scan sums them.
+        let counts = kernel::window_counts(bits.as_words(), n, mm);
         let nf = n as f64;
         counts.iter().map(|&c| (c as f64) * (c as f64)).sum::<f64>() * (1 << mm) as f64 / nf - nf
     };
@@ -290,16 +280,7 @@ pub fn approximate_entropy(bits: &BitVec, m: usize) -> Result<TestResult, Insuff
     require(bits, 8 << m)?;
     let n = bits.len();
     let phi_m = |mm: usize| -> f64 {
-        let mut counts = vec![0u64; 1 << mm];
-        let mut window = 0usize;
-        let mask = (1 << mm) - 1;
-        for i in 0..n + mm - 1 {
-            let bit = bits.get(i % n).expect("cyclic index in range");
-            window = ((window << 1) | usize::from(bit)) & mask;
-            if i >= mm - 1 {
-                counts[window] += 1;
-            }
-        }
+        let counts = kernel::window_counts(bits.as_words(), n, mm);
         let nf = n as f64;
         counts
             .iter()
@@ -731,6 +712,61 @@ mod tests {
     fn result_display_mentions_verdict() {
         let r = frequency(&random_bits(256, 1)).unwrap();
         assert!(r.to_string().contains("PASS") || r.to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn kernelized_tests_match_per_bit_scans_exactly() {
+        // The word-parallel rewrites must be byte-identical to the original
+        // per-bit scans: integer counts are equal by construction, and the
+        // float derivations accumulate in the same order. Zero tolerance.
+        for seed in 0..8u64 {
+            for &n in &[100usize, 127, 128, 129, 1000, 4097] {
+                let bits = random_bits(n, 900 + seed);
+
+                // runs: V(obs) via per-bit comparison.
+                let mut v = 1u64;
+                for i in 1..bits.len() {
+                    if bits.get(i) != bits.get(i - 1) {
+                        v += 1;
+                    }
+                }
+                assert_eq!(v, kernel::transitions(bits.as_words(), bits.len()) + 1);
+
+                // block_frequency: per-bit chi² accumulation in block order.
+                for &m in &[8usize, 37, 128] {
+                    if n < m {
+                        continue;
+                    }
+                    let n_blocks = n / m;
+                    let mut chi2 = 0.0;
+                    for b in 0..n_blocks {
+                        let ones = (0..m)
+                            .filter(|&i| bits.get(b * m + i) == Some(true))
+                            .count();
+                        chi2 += (ones as f64 / m as f64 - 0.5).powi(2);
+                    }
+                    chi2 *= 4.0 * m as f64;
+                    let want = gamma_q(n_blocks as f64 / 2.0, chi2 / 2.0);
+                    let got = block_frequency(&bits, m).unwrap().p_value;
+                    assert_eq!(got.to_bits(), want.to_bits(), "n={n} m={m}");
+                }
+
+                // serial / apen window counts: per-bit cyclic sliding scan.
+                for mm in 1..=4usize {
+                    let mut counts = vec![0u64; 1 << mm];
+                    let mut window = 0usize;
+                    let mask = (1 << mm) - 1;
+                    for i in 0..n + mm - 1 {
+                        let bit = bits.get(i % n).unwrap();
+                        window = ((window << 1) | usize::from(bit)) & mask;
+                        if i >= mm - 1 {
+                            counts[window] += 1;
+                        }
+                    }
+                    assert_eq!(counts, kernel::window_counts(bits.as_words(), n, mm));
+                }
+            }
+        }
     }
 
     #[test]

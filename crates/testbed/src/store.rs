@@ -134,6 +134,13 @@ impl Record {
     /// Parses a record from a JSON line produced by
     /// [`to_json_line`](Self::to_json_line).
     ///
+    /// Lines in the canonical writer layout (fields in written order, no
+    /// extra whitespace) take a direct scanning path that decodes the hex
+    /// payload straight into the record's word storage — one allocation per
+    /// record, no JSON value tree. Any deviation falls back to the full
+    /// tree parser, which accepts arbitrary field order and whitespace and
+    /// produces the exact error taxonomy below.
+    ///
     /// # Errors
     ///
     /// Returns [`ParseRecordError`] on malformed JSON, missing fields,
@@ -141,6 +148,114 @@ impl Record {
     /// negative `seq` — rejected, never silently truncated), or
     /// inconsistent bit counts.
     pub fn parse_json_line(line: &str) -> Result<Self, ParseRecordError> {
+        if let Some(record) = Self::parse_json_line_fast(line) {
+            return Ok(record);
+        }
+        Self::parse_json_line_tree(line)
+    }
+
+    /// The canonical-layout scanner. Returns `None` on *any* deviation —
+    /// unexpected byte, non-canonical number, out-of-domain field, length
+    /// mismatch — so error reporting is always the tree parser's job and
+    /// the two paths agree on every accepted line (the fast path only
+    /// accepts lines the tree parser would parse to the same record).
+    fn parse_json_line_fast(line: &str) -> Option<Self> {
+        #[inline]
+        fn lit(b: &[u8], pos: &mut usize, want: &[u8]) -> Option<()> {
+            let end = pos.checked_add(want.len())?;
+            if b.get(*pos..end)? == want {
+                *pos = end;
+                Some(())
+            } else {
+                None
+            }
+        }
+        // A canonical JSON unsigned integer: digits only, no leading zero
+        // (except "0" itself), no overflow.
+        #[inline]
+        fn uint(b: &[u8], pos: &mut usize) -> Option<u64> {
+            let start = *pos;
+            let mut v: u64 = 0;
+            while let Some(d) = b.get(*pos).filter(|c| c.is_ascii_digit()) {
+                v = v.checked_mul(10)?.checked_add(u64::from(d - b'0'))?;
+                *pos += 1;
+            }
+            if *pos == start || (*pos - start > 1 && b[start] == b'0') {
+                return None;
+            }
+            Some(v)
+        }
+        #[inline]
+        fn int(b: &[u8], pos: &mut usize) -> Option<i64> {
+            let negative = b.get(*pos) == Some(&b'-');
+            if negative {
+                *pos += 1;
+            }
+            let magnitude = uint(b, pos)?;
+            if negative {
+                if magnitude > i64::MAX as u64 + 1 {
+                    None
+                } else {
+                    Some((magnitude as i64).wrapping_neg())
+                }
+            } else {
+                i64::try_from(magnitude).ok()
+            }
+        }
+        // Canonical hex is lowercase; uppercase falls back (the tree parser
+        // accepts it and produces the same record).
+        #[inline]
+        fn hex_val(c: u8) -> u8 {
+            match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                _ => 0xFF,
+            }
+        }
+
+        let b = line.as_bytes();
+        let mut pos = 0usize;
+        lit(b, &mut pos, b"{\"device\":")?;
+        let device = BoardId(u8::try_from(uint(b, &mut pos)?).ok()?);
+        lit(b, &mut pos, b",\"seq\":")?;
+        let seq = uint(b, &mut pos)?;
+        lit(b, &mut pos, b",\"timestamp\":")?;
+        let timestamp = Timestamp(int(b, &mut pos)?);
+        lit(b, &mut pos, b",\"bits\":")?;
+        let bits = usize::try_from(uint(b, &mut pos)?).ok()?;
+        lit(b, &mut pos, b",\"data\":\"")?;
+        // The payload length is implied by `bits`; anything else (odd hex,
+        // inconsistent bit count, trailing bytes) is the tree parser's case.
+        let hex_len = bits.div_ceil(8).checked_mul(2)?;
+        let data_end = pos.checked_add(hex_len)?;
+        if b.len() != data_end.checked_add(2)? || &b[data_end..] != b"\"}" {
+            return None;
+        }
+        // Hex pairs decode straight into the word layout `BitVec` uses
+        // (byte i lands in word i/8 at bit 8·(i%8)): the one allocation of
+        // the whole decode is the record's own word storage.
+        let mut words = vec![0u64; bits.div_ceil(64)];
+        for (i, pair) in b[pos..data_end].chunks_exact(2).enumerate() {
+            let hi = hex_val(pair[0]);
+            let lo = hex_val(pair[1]);
+            if hi | lo > 0x0F {
+                return None;
+            }
+            words[i / 8] |= u64::from((hi << 4) | lo) << (8 * (i % 8));
+        }
+        Some(Self {
+            device,
+            seq,
+            timestamp,
+            data: BitVec::from_words(words, bits),
+        })
+    }
+
+    /// The general tree-parsing path: arbitrary field order and whitespace,
+    /// full error taxonomy. [`parse_json_line`](Self::parse_json_line)
+    /// falls back to this for every non-canonical line; it is public as the
+    /// reference decoder the perf suite times the fast path against.
+    pub fn parse_json_line_tree(line: &str) -> Result<Self, ParseRecordError> {
         let value = json::parse(line).map_err(ParseRecordError::Json)?;
         let obj = value
             .as_object()
@@ -610,6 +725,69 @@ mod tests {
             r.to_json_line(),
             r#"{"device":3,"seq":17,"timestamp":1486512000,"bits":16,"data":"a501"}"#
         );
+    }
+
+    #[test]
+    fn fast_and_tree_parsers_agree_on_canonical_lines() {
+        // Every canonical line must take the fast path and produce exactly
+        // what the tree parser produces.
+        let mut records = vec![
+            sample(7, 123),
+            Record::new(
+                BoardId(255),
+                u64::MAX,
+                Timestamp(i64::MAX),
+                BitVec::zeros(0),
+            ),
+            Record::new(BoardId(0), 0, Timestamp(i64::MIN), BitVec::zeros(13)),
+            Record::new(BoardId(0), 1 << 53, Timestamp(-1), BitVec::ones(65)),
+        ];
+        for n in [1usize, 7, 8, 9, 63, 64, 65, 127, 128, 1000] {
+            let mut data = BitVec::zeros(n);
+            data.set(0, true);
+            data.set(n - 1, true);
+            records.push(Record::new(BoardId(9), n as u64, Timestamp(n as i64), data));
+        }
+        for r in records {
+            let line = r.to_json_line();
+            let fast = Record::parse_json_line_fast(&line).expect("canonical line takes fast path");
+            let tree = Record::parse_json_line_tree(&line).unwrap();
+            assert_eq!(fast, tree, "line: {line}");
+            assert_eq!(fast, r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn non_canonical_lines_fall_back_to_the_tree_parser() {
+        // Reordered fields, whitespace, uppercase hex, leading zeros: the
+        // scanner must decline (fall back), and the final result must still
+        // match the tree parser's — value or error.
+        let lines = [
+            // Field order permuted.
+            r#"{"seq":17,"device":3,"timestamp":1486512000,"bits":16,"data":"a501"}"#,
+            // Whitespace.
+            r#"{ "device":3,"seq":17,"timestamp":1486512000,"bits":16,"data":"a501" }"#,
+            // Uppercase hex (valid JSON, non-canonical rendering).
+            r#"{"device":3,"seq":17,"timestamp":1486512000,"bits":16,"data":"A501"}"#,
+            // Leading zero (invalid JSON number).
+            r#"{"device":03,"seq":17,"timestamp":1486512000,"bits":16,"data":"a501"}"#,
+            // Trailing garbage.
+            r#"{"device":3,"seq":17,"timestamp":1486512000,"bits":16,"data":"a501"}x"#,
+        ];
+        for line in lines {
+            assert!(
+                Record::parse_json_line_fast(line).is_none(),
+                "fast path must decline: {line}"
+            );
+            match (
+                Record::parse_json_line(line),
+                Record::parse_json_line_tree(line),
+            ) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "line: {line}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "line: {line}"),
+                (a, b) => panic!("paths disagree on {line}: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

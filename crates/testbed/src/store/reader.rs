@@ -13,6 +13,11 @@
 //!        bounded sync_channel            bounded sync_channel        BTreeMap
 //! ```
 //!
+//! Each worker decodes JSON lines through [`Record::parse_json_line`]'s
+//! canonical-layout fast path (one allocation per record — the word
+//! storage itself; see `crates/testbed/tests/alloc_regression.rs`), falling
+//! back to the tree parser only on non-canonical input.
+//!
 //! The machinery is format-agnostic over the batch item `B`:
 //! [`ParallelRecordReader`] feeds it JSON lines (`B = String`, split on
 //! newlines), [`BinaryRecordReader`](super::BinaryRecordReader) feeds it

@@ -58,14 +58,8 @@ pub fn markov_estimate(bits: &BitVec) -> Result<f64, EstimateError> {
     if bits.len() < 2 {
         return Err(EstimateError::TooFewBits { len: bits.len() });
     }
-    // Transition counts.
-    let mut counts = [[0u64; 2]; 2];
-    let mut prev = usize::from(bits.get(0).expect("non-empty"));
-    for i in 1..bits.len() {
-        let cur = usize::from(bits.get(i).expect("in range"));
-        counts[prev][cur] += 1;
-        prev = cur;
-    }
+    // Transition counts, four popcount passes over the word stream.
+    let counts = pufbits::kernel::pair_counts(bits.as_words(), bits.len());
     let row_p = |row: [u64; 2]| -> [f64; 2] {
         let total = (row[0] + row[1]) as f64;
         if total == 0.0 {
@@ -152,6 +146,29 @@ mod tests {
         let mcv = mcv_estimate(alternating.count_ones() as u64, alternating.len() as u64);
         assert!(mcv > 0.9, "mcv is blind to alternation: {mcv}");
         assert!(markov_estimate(&alternating).unwrap() < 0.02);
+    }
+
+    #[test]
+    fn transition_counts_match_per_bit_scan_exactly() {
+        // The popcount contingency table feeding the estimator must equal
+        // the original per-bit scan on every width, tails included.
+        for &n in &[2usize, 3, 63, 64, 65, 129, 1000] {
+            for seed in 0..4u64 {
+                let bits = bernoulli(n, 0.627, 300 + seed);
+                let mut want = [[0u64; 2]; 2];
+                let mut prev = usize::from(bits.get(0).unwrap());
+                for i in 1..bits.len() {
+                    let cur = usize::from(bits.get(i).unwrap());
+                    want[prev][cur] += 1;
+                    prev = cur;
+                }
+                assert_eq!(
+                    pufbits::kernel::pair_counts(bits.as_words(), bits.len()),
+                    want,
+                    "n={n} seed={seed}"
+                );
+            }
+        }
     }
 
     #[test]

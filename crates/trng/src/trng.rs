@@ -2,7 +2,7 @@
 
 use crate::conditioner::Conditioner;
 use crate::health::{HealthFailure, HealthMonitor};
-use pufbits::{BitVec, OnesCounter};
+use pufbits::{BitVec, BlockCounter};
 use rand::Rng;
 use sramcell::{Environment, SramArray};
 use std::error::Error;
@@ -121,12 +121,13 @@ impl SramTrng {
             "derating must be in (0, 1]"
         );
         let env = Environment::nominal(sram.profile());
-        let mut counter = OnesCounter::new(sram.len());
+        let mut block = BlockCounter::new(sram.len());
         for _ in 0..config.characterization_reads {
-            counter
+            block
                 .add(&sram.power_up(&env, rng))
                 .expect("constant width");
         }
+        let counter = block.into_counter();
         let mask = counter.unstable_mask();
         if mask.count_ones() == 0 {
             return Err(TrngError::NoEntropySource);
