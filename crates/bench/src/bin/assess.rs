@@ -19,6 +19,15 @@
 //! formats. `--metrics-out` dumps the `pufobs` reader and accumulator
 //! counters as JSON after the run; `--verbose` prints a once-per-second
 //! progress heartbeat to stderr. Neither changes the assessment by a byte.
+//!
+//! `--resync BYTES` turns on bounded best-effort resynchronisation for
+//! `pufrec/1` input (it implies `--format binary`): after a corrupt
+//! region, the reader scans forward for the next CRC-valid frame instead
+//! of stopping, skipping at most BYTES in total. Every dropped region is
+//! reported on stderr with its exact offsets, counts toward the malformed
+//! total, and the lost reads surface in the coverage report as missing or
+//! underfilled device-months — degradation is graceful but never silent.
+//! For exhaustive offline recovery use `convert --fsck --repair`.
 
 use pufassess::fit;
 use pufassess::monthly::EvaluationProtocol;
@@ -42,6 +51,7 @@ fn main() {
     let mut batch_lines = DEFAULT_BATCH_LINES;
     let mut metrics_out: Option<String> = None;
     let mut verbose = false;
+    let mut resync: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -74,11 +84,12 @@ fn main() {
             }
             "--metrics-out" => metrics_out = Some(value().clone()),
             "--verbose" => verbose = true,
+            "--resync" => resync = Some(parse(value(), "--resync")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: assess --in FILE [--format json|binary] [--reads N] \
                      [--eval-day D] [--csv PREFIX] [--threads N] [--batch-lines N] \
-                     [--metrics-out FILE] [--verbose]"
+                     [--metrics-out FILE] [--verbose] [--resync BYTES]"
                 );
                 return;
             }
@@ -92,6 +103,10 @@ fn main() {
         eprintln!("--in FILE is required (try --help)");
         exit(2);
     };
+    if resync.is_some() && format == Some(RecordFormat::Json) {
+        eprintln!("--resync re-locks on pufrec/1 frame CRCs; it cannot apply to --format json");
+        exit(2);
+    }
 
     let file = File::open(&input).unwrap_or_else(|e| {
         eprintln!("cannot open {input}: {e}");
@@ -102,25 +117,27 @@ fn main() {
     // held in memory; only per-(device, month) window state is.
     let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
     let file = BufReader::new(file);
-    let reader = match format {
-        None => {
-            AnyRecordReader::open(file, threads, batch_lines, obs.as_ref()).unwrap_or_else(|e| {
+    // `--resync` implies binary: the file's own header may be part of the
+    // damage, so format sniffing cannot be trusted to recognise it.
+    let reader = match (resync, format) {
+        (Some(budget), _) => AnyRecordReader::Binary(BinaryRecordReader::spawn_resync(
+            file,
+            threads,
+            batch_lines,
+            budget,
+            obs.as_ref(),
+        )),
+        (None, None) => AnyRecordReader::open(file, threads, batch_lines, obs.as_ref())
+            .unwrap_or_else(|e| {
                 eprintln!("cannot read {input}: {e}");
                 exit(1);
-            })
-        }
-        Some(RecordFormat::Json) => AnyRecordReader::Json(ParallelRecordReader::spawn_with(
-            file,
-            threads,
-            batch_lines,
-            obs.as_ref(),
-        )),
-        Some(RecordFormat::Binary) => AnyRecordReader::Binary(BinaryRecordReader::spawn_with(
-            file,
-            threads,
-            batch_lines,
-            obs.as_ref(),
-        )),
+            }),
+        (None, Some(RecordFormat::Json)) => AnyRecordReader::Json(
+            ParallelRecordReader::spawn_with(file, threads, batch_lines, obs.as_ref()),
+        ),
+        (None, Some(RecordFormat::Binary)) => AnyRecordReader::Binary(
+            BinaryRecordReader::spawn_with(file, threads, batch_lines, obs.as_ref()),
+        ),
     };
     let mut accumulator = WindowAccumulator::new(protocol);
     if let Some(ins) = &obs {

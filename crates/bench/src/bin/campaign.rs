@@ -32,10 +32,22 @@
 //! deterministically: the same seed and plan produce byte-identical records
 //! for any `--threads`, and through checkpoint/resume. `--max-retries N`
 //! bounds the transport retry budget before a read is dropped as a gap.
+//!
+//! `--io-faults FILE` loads a *storage* fault plan (torn writes, short
+//! reads, ENOSPC, failed fsync/rename — see `puftestbed::store::iofault`)
+//! and injects it deterministically into the output, checkpoint, and
+//! resume-salvage I/O paths. A fired fault fails the run like a real disk
+//! error would; the partial output and checkpoints stay on disk for the
+//! supervisor to resume from. `--io-incarnation N` salts the schedule (the
+//! supervisor passes its restart count, so each retry sees fresh faults);
+//! `--checkpoint-keep K` retains the last K checkpoint generations
+//! (`FILE`, `FILE.1`, …) so a checkpoint torn mid-write still leaves an
+//! older intact generation to fall back to. Without `--io-faults` every
+//! byte written is identical to a build without the fault layer.
 
-use pufbench::{campaign_total_cycles, metrics, reopen_for_resume, FormatSink};
+use pufbench::{campaign_total_cycles, metrics, reopen_for_resume_with, FormatSink};
 use pufobs::Instruments;
-use puftestbed::store::{checkpoint, RecordFormat};
+use puftestbed::store::{checkpoint, IoFaultPlan, IoPolicy, RecordFormat};
 use puftestbed::{Campaign, CampaignConfig, FaultPlan};
 use std::path::Path;
 use std::process::exit;
@@ -53,6 +65,9 @@ fn main() {
     let mut resume_from: Option<String> = None;
     let mut halt_after: Option<u32> = None;
     let mut faults_from: Option<String> = None;
+    let mut io_faults_from: Option<String> = None;
+    let mut io_incarnation = 0u64;
+    let mut checkpoint_keep = 1u32;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -90,14 +105,24 @@ fn main() {
             "--halt-after-windows" => halt_after = Some(parse(value(), "--halt-after-windows")),
             "--faults" => faults_from = Some(value().clone()),
             "--max-retries" => config.i2c_retries = parse(value(), "--max-retries"),
+            "--io-faults" => io_faults_from = Some(value().clone()),
+            "--io-incarnation" => io_incarnation = parse(value(), "--io-incarnation"),
+            "--checkpoint-keep" => {
+                checkpoint_keep = parse(value(), "--checkpoint-keep");
+                if checkpoint_keep == 0 {
+                    eprintln!("--checkpoint-keep must be positive");
+                    exit(2);
+                }
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: campaign --out FILE [--format json|binary] [--boards N] \
                      [--months N] [--reads N] [--read-bits N] [--seed N] [--nack-rate P] \
                      [--threads N] [--metrics-out FILE] [--verbose] \
-                     [--checkpoint-out FILE] [--checkpoint-every N] \
+                     [--checkpoint-out FILE] [--checkpoint-every N] [--checkpoint-keep K] \
                      [--resume-from FILE] [--halt-after-windows N] \
-                     [--faults FILE] [--max-retries N]"
+                     [--faults FILE] [--max-retries N] \
+                     [--io-faults FILE] [--io-incarnation N]"
                 );
                 return;
             }
@@ -127,6 +152,22 @@ fn main() {
         });
     }
     let has_faults = !config.faults.is_empty();
+    // Storage faults are not part of the campaign's identity: they change
+    // when I/O *fails*, never what gets written, so the plan stays outside
+    // the checkpoint config hash and a faulted run resumes into a clean one
+    // (and vice versa) freely.
+    let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
+    let io_policy = io_faults_from.as_ref().map(|path| {
+        let plan = IoFaultPlan::load(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot load I/O fault plan {path}: {e}");
+            exit(1);
+        });
+        let policy = IoPolicy::new(plan, io_incarnation);
+        match &obs {
+            Some(ins) => policy.instruments(ins),
+            None => policy,
+        }
+    });
 
     eprintln!(
         "campaign: {} boards × {} months × {} reads/window × {} bits → {out} \
@@ -163,19 +204,31 @@ fn main() {
     }
     .threads(threads);
     let mut sink = match &resume_state {
-        Some(state) => reopen_for_resume(&out, format, declared_bits, state.summary.records, None),
-        None => FormatSink::create(&out, format, declared_bits),
+        Some(state) => reopen_for_resume_with(
+            &out,
+            format,
+            declared_bits,
+            state.summary.records,
+            None,
+            io_policy.clone(),
+        ),
+        None => FormatSink::create_with(&out, format, declared_bits, io_policy.clone()),
     }
     .unwrap_or_else(|e| {
         eprintln!("cannot open {out}: {e}");
+        write_metrics_snapshot(&metrics_out, &obs);
         exit(1);
     });
-    let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
     if let Some(ins) = &obs {
         campaign = campaign.instruments(ins);
     }
+    if let Some(policy) = &io_policy {
+        campaign = campaign.io_policy(policy.clone());
+    }
     if let Some(ckpt) = &checkpoint_out {
-        campaign = campaign.checkpoints(checkpoint_every, ckpt);
+        campaign = campaign
+            .checkpoints(checkpoint_every, ckpt)
+            .checkpoint_keep(checkpoint_keep);
     }
     if let Some(n) = halt_after {
         campaign = campaign.halt_after_windows(n);
@@ -184,13 +237,23 @@ fn main() {
         let ins = obs.as_ref().expect("verbose implies instruments");
         metrics::spawn_heartbeat(ins, metrics::campaign_spec(total_cycles))
     });
-    let summary = campaign.run(&mut sink).unwrap_or_else(|e| {
-        eprintln!("campaign failed: {e}");
-        exit(1);
-    });
+    // Failure paths still write the metrics snapshot: a supervised child
+    // killed by an injected fault must leave its `io.*` counters behind
+    // for the conservation checks, or the faults it absorbed disappear
+    // from the books.
+    let summary = match campaign.run(&mut sink) {
+        Ok(summary) => summary,
+        Err(e) => {
+            drop(heartbeat);
+            eprintln!("campaign failed: {e}");
+            write_metrics_snapshot(&metrics_out, &obs);
+            exit(1);
+        }
+    };
     drop(heartbeat);
     if let Err(e) = sink.finish() {
         eprintln!("flush failed: {e}");
+        write_metrics_snapshot(&metrics_out, &obs);
         exit(1);
     }
     if has_faults {
@@ -229,6 +292,17 @@ fn main() {
                 eprintln!("cannot write {path}: {e}");
                 exit(1);
             }
+        }
+    }
+}
+
+/// Best-effort metrics dump on the failure paths (the success path reports
+/// its own errors loudly).
+fn write_metrics_snapshot(metrics_out: &Option<String>, obs: &Option<Instruments>) {
+    if let (Some(path), Some(ins)) = (metrics_out, obs) {
+        match metrics::write_metrics(path, ins) {
+            Ok(()) => eprintln!("wrote metrics snapshot to {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
 }

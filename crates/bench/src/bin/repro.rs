@@ -6,6 +6,7 @@
 //!       [--metrics-out FILE] [--verbose] \
 //!       [--checkpoint-out FILE] [--checkpoint-every N] \
 //!       [--resume-from FILE] [--halt-after-windows N] \
+//!       [--io-faults FILE] \
 //!       [--fig3] [--fig4] [--fig5] [--fig6] [--table1] [--accel]
 //!       [--keylife] [--all]
 //! ```
@@ -26,16 +27,21 @@
 //! killed run and reproduces the uninterrupted run's records and tables
 //! exactly. `--halt-after-windows` stops the campaign early but
 //! resumable.
+//!
+//! `--io-faults FILE` loads a deterministic storage fault plan (see
+//! `puftestbed::store::iofault`) injected into the `--records-out`,
+//! checkpoint, and resume-salvage I/O; without the flag every artifact is
+//! byte-identical to a build without the fault layer.
 
 use pufassess::report::{self, Series};
 use pufassess::streaming::WindowAccumulator;
 use pufassess::visualize;
 use pufbench::{
-    campaign_total_cycles, default_threads, metrics, reopen_for_resume,
+    campaign_total_cycles, default_threads, metrics, reopen_for_resume_with,
     run_assessment_streaming_with, run_keylife_streaming_with, FormatSink, Scale,
 };
 use pufobs::Instruments;
-use puftestbed::store::{checkpoint, RecordFormat, TeeSink};
+use puftestbed::store::{checkpoint, IoFaultPlan, IoPolicy, RecordFormat, TeeSink};
 use puftestbed::{Campaign, PowerWaveform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,6 +64,7 @@ fn main() {
     let mut checkpoint_every: u32 = 0;
     let mut resume_from: Option<String> = None;
     let mut halt_after: Option<u32> = None;
+    let mut io_faults_from: Option<String> = None;
     let mut artifacts: BTreeSet<&'static str> = BTreeSet::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -156,6 +163,16 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--io-faults" => {
+                io_faults_from = Some(
+                    iter.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--io-faults needs a file path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
             "--verbose" => verbose = true,
             "--fig3" => {
                 artifacts.insert("fig3");
@@ -223,6 +240,17 @@ fn main() {
     // Instruments are created whenever anything will consume them; the
     // pipeline output is identical either way.
     let obs = (metrics_out.is_some() || verbose).then(Instruments::new);
+    let io_policy = io_faults_from.as_ref().map(|path| {
+        let plan = IoFaultPlan::load(Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot load I/O fault plan {path}: {e}");
+            std::process::exit(1);
+        });
+        let policy = IoPolicy::new(plan, 0);
+        match &obs {
+            Some(ins) => policy.instruments(ins),
+            None => policy,
+        }
+    });
 
     if ["fig5", "fig6", "table1"]
         .iter()
@@ -279,6 +307,9 @@ fn main() {
             if let Some(ckpt) = &checkpoint_out {
                 campaign = campaign.checkpoints(checkpoint_every, ckpt);
             }
+            if let Some(policy) = &io_policy {
+                campaign = campaign.io_policy(policy.clone());
+            }
             if let Some(n) = halt_after {
                 campaign = campaign.halt_after_windows(n);
             }
@@ -293,14 +324,15 @@ fn main() {
                     // stream into the accumulator, so the assessment sees
                     // the complete campaign despite the interruption.
                     let mut sink = match &resume_state {
-                        Some(state) => reopen_for_resume(
+                        Some(state) => reopen_for_resume_with(
                             path,
                             format,
                             declared,
                             state.summary.records,
                             Some(&mut accumulator),
+                            io_policy.clone(),
                         ),
-                        None => FormatSink::create(path, format, declared),
+                        None => FormatSink::create_with(path, format, declared, io_policy.clone()),
                     }
                     .unwrap_or_else(|e| {
                         eprintln!("cannot open {path}: {e}");

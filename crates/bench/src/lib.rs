@@ -13,8 +13,10 @@ use pufassess::streaming::WindowAccumulator;
 use pufassess::{Assessment, KeyLife, KeyLifeAccumulator, KeyLifeConfig, KeyProfile};
 use pufobs::Instruments;
 use puftestbed::store::atomic::tmp_path;
+use puftestbed::store::iofault::FaultyReader;
 use puftestbed::store::{
-    AnyRecordReader, AtomicFile, BinarySink, JsonLinesSink, RecordFormat, RecordSink, TeeSink,
+    AnyRecordReader, AtomicFile, BinarySink, IoPolicy, JsonLinesSink, RecordFormat, RecordSink,
+    TeeSink,
 };
 use puftestbed::{Campaign, CampaignConfig, Dataset, Record};
 use std::fs;
@@ -348,7 +350,27 @@ impl FormatSink {
         format: RecordFormat,
         declared_bits: u32,
     ) -> io::Result<Self> {
-        let file = BufWriter::new(AtomicFile::create(path)?);
+        Self::create_with(path, format, declared_bits, None)
+    }
+
+    /// [`create`](Self::create) for a campaign output under supervision:
+    /// all I/O routes through the optional [`IoPolicy`] (deterministic
+    /// fault injection), and the temporary file survives a *failed* run —
+    /// not just a killed one — so the checkpoint-resume salvage always has
+    /// its partial bytes. `None` policy still keeps the partial (that is
+    /// free, and a real disk error deserves the same resumability as an
+    /// injected one).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the file or writing the header.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        format: RecordFormat,
+        declared_bits: u32,
+        policy: Option<IoPolicy>,
+    ) -> io::Result<Self> {
+        let file = BufWriter::new(AtomicFile::create_with(path, policy)?.keep_partial_on_drop());
         Ok(match format {
             RecordFormat::Json => Self::Json(JsonLinesSink::new(file)),
             RecordFormat::Binary => {
@@ -421,10 +443,29 @@ pub fn reopen_for_resume(
     format: RecordFormat,
     declared_bits: u32,
     expect: u64,
+    also: Option<&mut dyn RecordSink>,
+) -> io::Result<FormatSink> {
+    reopen_for_resume_with(path, format, declared_bits, expect, also, None)
+}
+
+/// [`reopen_for_resume`] with the salvage read and the fresh sink routed
+/// through an optional [`IoPolicy`] (deterministic fault injection). An
+/// injected fault mid-salvage is safe: the salvage file stays on disk and
+/// the next attempt re-reads it from the start.
+///
+/// # Errors
+///
+/// As [`reopen_for_resume`], plus any injected fault.
+pub fn reopen_for_resume_with(
+    path: &str,
+    format: RecordFormat,
+    declared_bits: u32,
+    expect: u64,
     mut also: Option<&mut dyn RecordSink>,
+    policy: Option<IoPolicy>,
 ) -> io::Result<FormatSink> {
     if expect == 0 {
-        return FormatSink::create(path, format, declared_bits);
+        return FormatSink::create_with(path, format, declared_bits, policy);
     }
     let target = Path::new(path);
     let salvage = salvage_path(target);
@@ -443,13 +484,18 @@ pub fn reopen_for_resume(
             })?;
         fs::rename(&partial, &salvage)?;
     }
+    let salvage_file = fs::File::open(&salvage)?;
+    let reader: Box<dyn io::Read + Send> = match policy.clone() {
+        Some(p) => Box::new(FaultyReader::new(salvage_file, p, &salvage)),
+        None => Box::new(salvage_file),
+    };
     let reader = AnyRecordReader::open(
-        BufReader::new(fs::File::open(&salvage)?),
+        BufReader::new(reader),
         1, // strictly in-order: torn bytes past the prefix must not surface early
         256,
         None,
     )?;
-    let mut sink = FormatSink::create(path, format, declared_bits)?;
+    let mut sink = FormatSink::create_with(path, format, declared_bits, policy)?;
     let mut recovered = 0u64;
     for item in reader {
         if recovered == expect {
@@ -481,6 +527,12 @@ pub fn reopen_for_resume(
             ),
         ));
     }
+    // Flush the re-encoded prefix to the OS *before* deleting the salvage
+    // file: a crash in between must leave either the salvage (re-read on
+    // the next attempt) or a `.tmp` already holding every record the
+    // checkpoint claims — never neither. Without this, a kill landing
+    // between the delete and the next buffered flush strands the resume.
+    RecordSink::flush(&mut sink)?;
     fs::remove_file(&salvage)?;
     Ok(sink)
 }
@@ -504,6 +556,7 @@ pub fn campaign_total_cycles(config: &CampaignConfig) -> u64 {
 }
 
 pub mod perf;
+pub mod supervisor;
 
 /// Shared `--metrics-out` / `--verbose` plumbing for the CLI binaries.
 pub mod metrics {

@@ -178,6 +178,10 @@ pub struct Campaign {
     /// Write a checkpoint every this many windows (0 = never).
     checkpoint_every: u32,
     checkpoint_out: Option<PathBuf>,
+    /// Checkpoint generations kept on disk (1 = just the newest).
+    checkpoint_keep: u32,
+    /// Optional I/O fault / trace policy for checkpoint writes.
+    io_policy: Option<crate::store::IoPolicy>,
     /// Stop `run` after this many windows *in that call* (for tests and
     /// interruption drills; `None` = run to completion).
     halt_after: Option<u32>,
@@ -487,6 +491,8 @@ impl Campaign {
             resumed: false,
             checkpoint_every: 0,
             checkpoint_out: None,
+            checkpoint_keep: 1,
+            io_policy: None,
             halt_after: None,
             tally: FaultTally::default(),
             gaps: Vec::new(),
@@ -584,6 +590,8 @@ impl Campaign {
             resumed: true,
             checkpoint_every: 0,
             checkpoint_out: None,
+            checkpoint_keep: 1,
+            io_policy: None,
             halt_after: None,
             tally: FaultTally::default(),
             gaps: Vec::new(),
@@ -688,6 +696,25 @@ impl Campaign {
     pub fn checkpoints(mut self, every_windows: u32, out: impl Into<PathBuf>) -> Self {
         self.checkpoint_every = every_windows.max(1);
         self.checkpoint_out = Some(out.into());
+        self
+    }
+
+    /// Keeps the last `keep` checkpoint generations instead of only the
+    /// newest: before each checkpoint write the existing files rotate
+    /// (`ckpt` → `ckpt.1` → … → `ckpt.{keep-1}`), so a supervisor can fall
+    /// back a generation when the newest file fails verification. `keep`
+    /// of 0 or 1 keeps only the newest (the default, byte-identical to the
+    /// pre-rotation behaviour).
+    pub fn checkpoint_keep(mut self, keep: u32) -> Self {
+        self.checkpoint_keep = keep.max(1);
+        self
+    }
+
+    /// Routes checkpoint-file I/O through `policy` (deterministic fault
+    /// injection / syscall tracing). Record-sink I/O is the caller's to
+    /// wire — see `FormatSink` in the bench crate.
+    pub fn io_policy(mut self, policy: crate::store::IoPolicy) -> Self {
+        self.io_policy = Some(policy);
         self
     }
 
@@ -815,7 +842,8 @@ impl Campaign {
         sink.flush()?;
         let state = self.export_state();
         let started = self.obs.as_ref().map(|o| o.ins.now());
-        let bytes = checkpoint::write_file(&path, &state)?;
+        checkpoint::rotate_generations(&path, self.checkpoint_keep);
+        let bytes = checkpoint::write_file_with(&path, &state, self.io_policy.clone())?;
         if let Some(o) = &self.obs {
             if let Some(t0) = started {
                 o.checkpoint_write_ns

@@ -25,12 +25,16 @@ use std::str::FromStr;
 pub mod atomic;
 pub mod binary;
 pub mod checkpoint;
+pub mod fsck;
+pub mod iofault;
 pub mod json;
 pub mod reader;
 
 pub use atomic::AtomicFile;
 pub use binary::{BinaryRecordReader, BinarySink, FileHeader};
 pub use checkpoint::{BoardState, CampaignState, CheckpointError};
+pub use fsck::{DroppedRange, FsckReport};
+pub use iofault::{IoFaultPlan, IoPolicy};
 use json::JsonValue;
 pub use reader::{ParallelRecordReader, DEFAULT_BATCH_LINES};
 

@@ -4,10 +4,17 @@
 //! Every store writer (JSON lines, `pufrec/1`, `pufchk/1` checkpoints)
 //! writes through an [`AtomicFile`]: bytes stream into `<path>.tmp` in the
 //! same directory, and only [`persist`](AtomicFile::persist) — flush, sync,
-//! rename — makes them appear under the final name. Readers therefore never
-//! see a half-written file at the final path; an interrupted run leaves at
-//! most a `.tmp` that the resume machinery can salvage or ignore.
+//! rename, sync the parent directory — makes them appear under the final
+//! name. Readers therefore never see a half-written file at the final
+//! path; an interrupted run leaves at most a `.tmp` that the resume
+//! machinery can salvage or ignore.
+//!
+//! All I/O optionally routes through an [`IoPolicy`] (see
+//! [`create_with`](AtomicFile::create_with)), which is how the store's
+//! deterministic fault injection reaches the write path and how the
+//! durability tests observe syscall ordering.
 
+use super::iofault::{path_hash, IoPolicy};
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -15,7 +22,10 @@ use std::path::{Path, PathBuf};
 /// A file that becomes visible at its final path only on [`persist`].
 ///
 /// Dropping an unpersisted `AtomicFile` removes the temporary file, so an
-/// error path cannot leave debris behind under either name.
+/// error path cannot leave debris behind under either name — unless
+/// [`keep_partial_on_drop`](Self::keep_partial_on_drop) marked the partial
+/// bytes as salvageable (campaign outputs, whose `.tmp` is exactly what a
+/// checkpoint resume re-reads).
 ///
 /// [`persist`]: Self::persist
 ///
@@ -35,6 +45,9 @@ pub struct AtomicFile {
     file: Option<File>,
     tmp: PathBuf,
     target: PathBuf,
+    policy: Option<IoPolicy>,
+    hash: u64,
+    keep_partial: bool,
 }
 
 /// The temporary path an [`AtomicFile`] for `target` streams into
@@ -46,6 +59,15 @@ pub fn tmp_path(target: &Path) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// The directory whose entry for `target` the publishing rename mutates —
+/// what [`AtomicFile::persist`] fsyncs last.
+fn parent_dir(target: &Path) -> &Path {
+    match target.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir,
+        _ => Path::new("."),
+    }
+}
+
 impl AtomicFile {
     /// Starts an atomic write to `target`, creating (or truncating)
     /// `<target>.tmp`.
@@ -54,14 +76,40 @@ impl AtomicFile {
     ///
     /// Returns the error from creating the temporary file.
     pub fn create(target: impl AsRef<Path>) -> io::Result<Self> {
+        Self::create_with(target, None)
+    }
+
+    /// [`create`](Self::create) with every subsequent write, fsync, and
+    /// rename routed through `policy` (fault injection and/or syscall
+    /// tracing). `None` is byte-for-byte the plain path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the temporary file.
+    pub fn create_with(target: impl AsRef<Path>, policy: Option<IoPolicy>) -> io::Result<Self> {
         let target = target.as_ref().to_path_buf();
         let tmp = tmp_path(&target);
         let file = File::create(&tmp)?;
+        let hash = path_hash(&target);
         Ok(Self {
             file: Some(file),
             tmp,
             target,
+            policy,
+            hash,
+            keep_partial: false,
         })
+    }
+
+    /// Marks the temporary file as salvageable: an error (or drop without
+    /// [`persist`](Self::persist)) leaves `<target>.tmp` on disk instead of
+    /// deleting it. Campaign outputs use this so a run that *fails* — not
+    /// just one that is killed — still leaves the partial bytes a
+    /// checkpoint resume needs.
+    #[must_use]
+    pub fn keep_partial_on_drop(mut self) -> Self {
+        self.keep_partial = true;
+        self
     }
 
     /// The final path this file will appear at.
@@ -85,31 +133,51 @@ impl AtomicFile {
             .flush()
     }
 
-    /// Completes the write: flush, sync, and rename the temporary file to
-    /// the final path in one atomic step.
+    /// Completes the write: flush, sync the file, rename it to the final
+    /// path, then sync the parent directory so the rename itself survives
+    /// a machine crash (a rename is only as durable as the directory entry
+    /// holding it).
     ///
     /// # Errors
     ///
     /// Returns the first flush/sync/rename error; on error the temporary
-    /// file is removed.
+    /// file is removed (kept if
+    /// [`keep_partial_on_drop`](Self::keep_partial_on_drop) was set).
     pub fn persist(mut self) -> io::Result<()> {
+        let keep = self.keep_partial;
         let mut file = self.file.take().expect("persist consumes the file once");
-        let result = file.flush().and_then(|()| file.sync_all());
+        let result = file.flush().and_then(|()| match &self.policy {
+            Some(p) => p.fsync(&self.target, &file),
+            None => file.sync_all(),
+        });
         drop(file);
         result
-            .and_then(|()| fs::rename(&self.tmp, &self.target))
+            .and_then(|()| match &self.policy {
+                Some(p) => p.rename(&self.tmp, &self.target),
+                None => fs::rename(&self.tmp, &self.target),
+            })
+            .and_then(|()| {
+                let dir = parent_dir(&self.target);
+                match &self.policy {
+                    Some(p) => p.sync_dir(dir),
+                    None => File::open(dir)?.sync_all(),
+                }
+            })
             .inspect_err(|_| {
-                let _ = fs::remove_file(&self.tmp);
+                if !keep {
+                    let _ = fs::remove_file(&self.tmp);
+                }
             })
     }
 }
 
 impl Write for AtomicFile {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.file
-            .as_mut()
-            .expect("file present until persist")
-            .write(buf)
+        let file = self.file.as_mut().expect("file present until persist");
+        match &self.policy {
+            Some(p) => p.write(&self.target, self.hash, file, buf),
+            None => file.write(buf),
+        }
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -119,7 +187,7 @@ impl Write for AtomicFile {
 
 impl Drop for AtomicFile {
     fn drop(&mut self) {
-        if self.file.take().is_some() {
+        if self.file.take().is_some() && !self.keep_partial {
             // Unpersisted: abandon the write and clean up the temp file.
             let _ = fs::remove_file(&self.tmp);
         }
@@ -129,6 +197,7 @@ impl Drop for AtomicFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::iofault::IoEvent;
 
     fn temp_target(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("pufchk_atomic_{}_{name}", std::process::id()))
@@ -158,6 +227,17 @@ mod tests {
     }
 
     #[test]
+    fn keep_partial_preserves_the_tmp_for_salvage() {
+        let target = temp_target("keep");
+        let mut file = AtomicFile::create(&target).unwrap().keep_partial_on_drop();
+        file.write_all(b"partial records").unwrap();
+        drop(file);
+        assert!(!target.exists());
+        assert_eq!(fs::read(tmp_path(&target)).unwrap(), b"partial records");
+        fs::remove_file(tmp_path(&target)).unwrap();
+    }
+
+    #[test]
     fn persist_overwrites_a_previous_file() {
         let target = temp_target("overwrite");
         fs::write(&target, b"old").unwrap();
@@ -165,6 +245,40 @@ mod tests {
         file.write_all(b"new").unwrap();
         file.persist().unwrap();
         assert_eq!(fs::read(&target).unwrap(), b"new");
+        fs::remove_file(&target).unwrap();
+    }
+
+    #[test]
+    fn persist_syncs_file_then_renames_then_syncs_directory() {
+        // The durability contract, asserted on the recorded syscall order:
+        // the parent directory is synced *after* the rename — without it a
+        // machine crash can forget the rename even though the file's own
+        // bytes were synced.
+        let target = temp_target("ordering");
+        let policy = IoPolicy::recording();
+        let mut file = AtomicFile::create_with(&target, Some(policy.clone())).unwrap();
+        file.write_all(b"bytes").unwrap();
+        file.persist().unwrap();
+        let events = policy.events();
+        assert_eq!(
+            events,
+            vec![
+                IoEvent::Write {
+                    path: target.clone(),
+                    bytes: 5
+                },
+                IoEvent::FsyncFile {
+                    path: target.clone()
+                },
+                IoEvent::Rename {
+                    from: tmp_path(&target),
+                    to: target.clone()
+                },
+                IoEvent::FsyncDir {
+                    path: std::env::temp_dir()
+                },
+            ]
+        );
         fs::remove_file(&target).unwrap();
     }
 }

@@ -404,6 +404,42 @@ impl BinaryRecordReader {
             ),
         }
     }
+
+    /// [`spawn_with`](Self::spawn_with), with best-effort resync: after a
+    /// corrupt region (bad header, damaged length prefix, CRC mismatch)
+    /// the reader scans forward for the next byte offset at which a
+    /// complete, CRC-valid frame begins and continues from there, instead
+    /// of ending the stream. Each skipped region surfaces as one in-band
+    /// [`ParseRecordError::Corrupt`] item naming its exact byte range, so
+    /// a consumer that tolerates corrupt items (e.g. `assess`) degrades
+    /// gracefully and its coverage report shows the loss.
+    ///
+    /// `max_skip_bytes` bounds the total bytes skipped across the whole
+    /// stream; past it the reader gives up with a terminal error (a file
+    /// that is mostly garbage should fail loudly, not crawl). Candidate
+    /// frames during a scan are bounded to 1 MiB payloads — far above any
+    /// real read-out, far below the 64 MiB framing limit — so garbage
+    /// cannot make the scanner buffer half the file. Real I/O errors
+    /// remain terminal. The offline, exhaustive form of this scanner is
+    /// [`fsck::salvage_pufrec`](super::fsck::salvage_pufrec).
+    pub fn spawn_resync<R: BufRead + Send + 'static>(
+        reader: R,
+        threads: usize,
+        batch_records: usize,
+        max_skip_bytes: u64,
+        instruments: Option<&Instruments>,
+    ) -> Self {
+        let obs = instruments.map(ReaderInstruments::binary);
+        let batch_records = batch_records.max(1);
+        Self {
+            inner: RecordPipeline::spawn(
+                threads,
+                obs,
+                move |feed| read_frame_batches_resync(reader, batch_records, feed, max_skip_bytes),
+                |frame: &Vec<u8>| Some(decode_frame(frame)),
+            ),
+        }
+    }
 }
 
 impl Iterator for BinaryRecordReader {
@@ -453,6 +489,9 @@ fn read_frame_batches<R: BufRead>(
         }
     }
 
+    // Absolute stream offset of the next unread byte, so every framing
+    // error names the exact byte position of the damage.
+    let mut offset = HEADER_LEN as u64;
     let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_records);
     let mut batch_bytes = 0u64;
     loop {
@@ -486,17 +525,21 @@ fn read_frame_batches<R: BufRead>(
         if got < 4 {
             if flush_batch!() {
                 feed.send_error(ParseRecordError::Corrupt(format!(
-                    "record truncated inside the length prefix ({got} of 4 bytes)"
+                    "record truncated inside the length prefix ({got} of 4 bytes at \
+                     offset {offset})"
                 )));
             }
             return;
         }
         let payload_len = u32::from_le_bytes(prefix) as usize;
-        if let Err(e) = check_payload_len(payload_len) {
+        if check_payload_len(payload_len).is_err() {
             // A damaged length prefix desynchronises the framing: nothing
             // after this point can be trusted, so stop like an I/O failure.
             if flush_batch!() {
-                feed.send_error(e);
+                feed.send_error(ParseRecordError::Corrupt(format!(
+                    "implausible record length {payload_len} at offset {offset} \
+                     (valid: {FIXED_PAYLOAD}..={MAX_PAYLOAD})"
+                )));
             }
             return;
         }
@@ -504,6 +547,7 @@ fn read_frame_batches<R: BufRead>(
         match read_full(&mut reader, &mut frame) {
             Ok(n) if n == frame.len() => {
                 batch_bytes += 4 + frame.len() as u64;
+                offset += 4 + frame.len() as u64;
                 batch.push(frame);
                 if batch.len() == batch_records && !flush_batch!() {
                     return; // consumer dropped
@@ -512,7 +556,7 @@ fn read_frame_batches<R: BufRead>(
             Ok(n) => {
                 if flush_batch!() {
                     feed.send_error(ParseRecordError::Corrupt(format!(
-                        "record truncated at {} of {} bytes",
+                        "record truncated at {} of {} bytes (frame at offset {offset})",
                         4 + n,
                         4 + frame.len()
                     )));
@@ -524,6 +568,174 @@ fn read_frame_batches<R: BufRead>(
                     feed.send_error(ParseRecordError::from_io(&e));
                 }
                 return;
+            }
+        }
+    }
+}
+
+/// Largest payload a resync scan will consider for a candidate frame: far
+/// above any real SRAM read-out, small enough that garbage interpreted as
+/// a length prefix cannot make the scanner buffer tens of megabytes.
+const RESYNC_MAX_PAYLOAD: usize = 1 << 20;
+
+/// Reader-thread body for the resync pipeline: like [`read_frame_batches`]
+/// but framing damage starts a forward scan for the next CRC-valid frame
+/// instead of ending the stream. Frames are CRC-verified here *before*
+/// dispatch (resync is for damaged files, not the hot path), so a frame a
+/// worker later rejects can only be semantically malformed, never torn.
+fn read_frame_batches_resync<R: BufRead>(
+    mut reader: R,
+    batch_records: usize,
+    feed: &mut BatchFeed<Vec<u8>>,
+    max_skip_bytes: u64,
+) {
+    /// Tops `carry` up to at least `want` bytes (EOF permitting).
+    fn fill<R: Read>(reader: &mut R, carry: &mut Vec<u8>, want: usize) -> io::Result<()> {
+        let mut chunk = [0u8; 8192];
+        while carry.len() < want {
+            match reader.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => carry.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a complete, CRC-valid frame starts at `carry[at..]`;
+    /// returns its total length (prefix + payload + CRC).
+    fn frame_at(carry: &[u8], at: usize) -> Option<usize> {
+        let prefix = carry.get(at..at + 4)?;
+        let payload_len = u32::from_le_bytes(prefix.try_into().expect("4 prefix bytes")) as usize;
+        if check_payload_len(payload_len).is_err() || payload_len > RESYNC_MAX_PAYLOAD {
+            return None;
+        }
+        let frame_len = 4 + payload_len + 4;
+        let frame = carry.get(at + 4..at + frame_len)?;
+        let stored = u32::from_le_bytes(frame[payload_len..].try_into().expect("4 crc bytes"));
+        (crc32(&frame[..payload_len]) == stored).then_some(frame_len)
+    }
+
+    // Unconsumed stream bytes; `offset` is the absolute position of
+    // `carry[0]`.
+    let mut carry: Vec<u8> = Vec::new();
+    let mut offset = 0u64;
+    let mut skipped_total = 0u64;
+    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_records);
+    let mut batch_bytes = 0u64;
+
+    if let Err(e) = fill(&mut reader, &mut carry, HEADER_LEN) {
+        feed.send_error(ParseRecordError::from_io(&e));
+        return;
+    }
+    // `Some((cause, first_probe))` puts the next iteration into scan mode.
+    let mut scanning = match FileHeader::parse(&carry) {
+        Ok(_) => {
+            carry.drain(..HEADER_LEN);
+            offset = HEADER_LEN as u64;
+            feed.count_bytes(HEADER_LEN as u64);
+            None
+        }
+        // Treat the damaged header as the first corrupt region and scan
+        // for the first frame from offset 0 (a headerless image may open
+        // directly on a frame).
+        Err(e) => Some((format!("unreadable file header ({e})"), 0usize)),
+    };
+
+    loop {
+        macro_rules! flush_batch {
+            () => {{
+                let flushed = batch.is_empty()
+                    || feed.send(
+                        std::mem::replace(&mut batch, Vec::with_capacity(batch_records)),
+                        std::mem::take(&mut batch_bytes),
+                    );
+                flushed
+            }};
+        }
+
+        if let Some((cause, first_probe)) = scanning.take() {
+            // Forward scan: find the next offset where a complete frame
+            // decodes. `probe` starts past whatever just failed (1 for a
+            // damaged frame, 0 for a damaged header).
+            let mut probe = first_probe;
+            let relocked = loop {
+                if skipped_total + probe as u64 > max_skip_bytes {
+                    if flush_batch!() {
+                        feed.send_error(ParseRecordError::Corrupt(format!(
+                            "resync abandoned at offset {offset}: skip budget of \
+                             {max_skip_bytes} bytes exhausted ({cause})"
+                        )));
+                    }
+                    return;
+                }
+                // A candidate needs its prefix plus up to a full frame of
+                // lookahead in the carry buffer.
+                if let Err(e) = fill(&mut reader, &mut carry, probe + 8 + RESYNC_MAX_PAYLOAD) {
+                    if flush_batch!() {
+                        feed.send_error(ParseRecordError::from_io(&e));
+                    }
+                    return;
+                }
+                if probe >= carry.len() {
+                    break None; // EOF: the whole remaining carry is lost.
+                }
+                if frame_at(&carry, probe).is_some() {
+                    break Some(probe);
+                }
+                probe += 1;
+            };
+            let dropped = relocked.unwrap_or(carry.len());
+            skipped_total += dropped as u64;
+            feed.count_bytes(dropped as u64);
+            if flush_batch!() {
+                feed.send_error(ParseRecordError::Corrupt(format!(
+                    "resynchronised: dropped {dropped} corrupt bytes at offsets \
+                     {offset}..{} ({cause})",
+                    offset + dropped as u64
+                )));
+            } else {
+                return; // consumer dropped
+            }
+            carry.drain(..dropped);
+            offset += dropped as u64;
+            if relocked.is_none() {
+                return; // nothing valid remains
+            }
+            continue;
+        }
+
+        if let Err(e) = fill(&mut reader, &mut carry, 8 + RESYNC_MAX_PAYLOAD) {
+            if flush_batch!() {
+                feed.send_error(ParseRecordError::from_io(&e));
+            }
+            return;
+        }
+        if carry.is_empty() {
+            let _ = flush_batch!();
+            return; // clean end of stream on a record boundary
+        }
+        match frame_at(&carry, 0) {
+            Some(frame_len) => {
+                batch.push(carry[4..frame_len].to_vec());
+                batch_bytes += frame_len as u64;
+                carry.drain(..frame_len);
+                offset += frame_len as u64;
+                if batch.len() == batch_records && !flush_batch!() {
+                    return; // consumer dropped
+                }
+            }
+            None => {
+                let cause = if carry.len() < 4 {
+                    format!(
+                        "record truncated inside the length prefix ({} of 4 bytes)",
+                        carry.len()
+                    )
+                } else {
+                    "damaged frame (bad length prefix, CRC mismatch, or truncation)".to_string()
+                };
+                scanning = Some((cause, 1));
             }
         }
     }

@@ -513,11 +513,54 @@ pub fn decode(bytes: &[u8]) -> Result<CampaignState, CheckpointError> {
 ///
 /// Returns [`CheckpointError::Io`] on any filesystem failure.
 pub fn write_file(path: &Path, state: &CampaignState) -> Result<u64, CheckpointError> {
+    write_file_with(path, state, None)
+}
+
+/// [`write_file`] with the I/O routed through an optional
+/// [`IoPolicy`](super::IoPolicy) — how checkpoint writes come under the
+/// store's deterministic fault injection. A torn or unrenamed checkpoint
+/// write is harmless by construction: the atomic write either publishes a
+/// complete, CRC-valid file or leaves the previous generation in place.
+///
+/// # Errors
+///
+/// As [`write_file`], plus any injected fault.
+pub fn write_file_with(
+    path: &Path,
+    state: &CampaignState,
+    policy: Option<super::IoPolicy>,
+) -> Result<u64, CheckpointError> {
     let bytes = encode(state);
-    let mut file = super::AtomicFile::create(path)?;
+    let mut file = super::AtomicFile::create_with(path, policy)?;
     file.write_all(&bytes)?;
     file.persist()?;
     Ok(bytes.len() as u64)
+}
+
+/// The on-disk path of checkpoint generation `generation` rotated out of
+/// `path`: generation 0 is `path` itself (the newest), older generations
+/// are `<path>.1`, `<path>.2`, …
+pub fn generation_path(path: &Path, generation: u32) -> std::path::PathBuf {
+    if generation == 0 {
+        return path.to_path_buf();
+    }
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".{generation}"));
+    std::path::PathBuf::from(name)
+}
+
+/// Rotates existing checkpoint generations down one slot ahead of a new
+/// write (`path` → `<path>.1` → … → `<path>.{keep-1}`), best-effort: a
+/// failed rename only costs an *old* generation, never the one about to
+/// be written, so errors are deliberately swallowed. `keep <= 1` is a
+/// no-op.
+pub fn rotate_generations(path: &Path, keep: u32) {
+    for generation in (0..keep.saturating_sub(1)).rev() {
+        let from = generation_path(path, generation);
+        if from.exists() {
+            let _ = fs::rename(&from, generation_path(path, generation + 1));
+        }
+    }
 }
 
 /// Reads and fully validates a checkpoint file.

@@ -210,6 +210,122 @@ fn binary_io_error_mid_file_is_delivered_at_the_exact_position_in_order() {
     }
 }
 
+#[test]
+fn zero_length_binary_file_is_typed_corrupt_with_position() {
+    let items: Vec<_> = BinaryRecordReader::spawn(Cursor::new(Vec::new()), 2, 4).collect();
+    assert_eq!(items.len(), 1);
+    let err = items[0].as_ref().unwrap_err();
+    assert!(!err.is_io(), "clean EOF is structural damage, not I/O loss");
+    match err {
+        ParseRecordError::Corrupt(msg) => {
+            assert!(
+                msg.contains("file header truncated at 0 of 12 bytes"),
+                "{msg}"
+            )
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_only_binary_file_yields_no_records_and_no_errors() {
+    let items: Vec<_> = BinaryRecordReader::spawn(Cursor::new(pufrec(0)), 2, 4).collect();
+    assert!(
+        items.is_empty(),
+        "a header with no frames is a valid empty file"
+    );
+}
+
+#[test]
+fn truncation_inside_a_length_prefix_is_corrupt_with_the_exact_offset() {
+    let bytes = pufrec(5);
+    let record_len = (bytes.len() - puftestbed::store::binary::HEADER_LEN) / 5;
+    // Keep 3 whole frames plus 2 bytes of the 4th frame's length prefix.
+    let cut = puftestbed::store::binary::HEADER_LEN + 3 * record_len + 2;
+    let items: Vec<_> =
+        BinaryRecordReader::spawn(Cursor::new(bytes[..cut].to_vec()), 2, 4).collect();
+    assert_eq!(items.len(), 4);
+    assert_eq!(
+        items[..3]
+            .iter()
+            .map(|r| r.clone().unwrap())
+            .collect::<Vec<_>>(),
+        records(5)[..3].to_vec()
+    );
+    let err = items[3].as_ref().unwrap_err();
+    assert!(!err.is_io(), "a cleanly-ended torn file is Corrupt, not Io");
+    match err {
+        ParseRecordError::Corrupt(msg) => {
+            let expected = format!(
+                "record truncated inside the length prefix (2 of 4 bytes at offset {})",
+                puftestbed::store::binary::HEADER_LEN + 3 * record_len
+            );
+            assert!(msg.contains(&expected), "{msg}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn resync_recovers_the_frames_after_a_corrupt_region() {
+    let mut bytes = pufrec(20);
+    let record_len = (bytes.len() - puftestbed::store::binary::HEADER_LEN) / 20;
+    // Destroy the 5th frame's payload; its CRC no longer matches.
+    bytes[puftestbed::store::binary::HEADER_LEN + 4 * record_len + 9] ^= 0xFF;
+
+    let items: Vec<_> =
+        BinaryRecordReader::spawn_resync(Cursor::new(bytes), 2, 4, 1 << 20, None).collect();
+    let good: Vec<_> = items
+        .iter()
+        .filter_map(|r| r.as_ref().ok().cloned())
+        .collect();
+    let notices: Vec<_> = items
+        .iter()
+        .filter_map(|r| r.as_ref().err().map(|e| e.to_string()))
+        .collect();
+    // Every frame but the destroyed one survives, and the loss is loud:
+    // one resync notice naming the dropped range.
+    let mut expected = records(20);
+    expected.remove(4);
+    assert_eq!(good, expected);
+    assert_eq!(notices.len(), 1);
+    assert!(
+        notices[0].contains("resynchronised") && notices[0].contains(&record_len.to_string()),
+        "{}",
+        notices[0]
+    );
+}
+
+#[test]
+fn resync_with_an_exhausted_skip_budget_gives_up_loudly() {
+    let mut bytes = pufrec(10);
+    let record_len = (bytes.len() - puftestbed::store::binary::HEADER_LEN) / 10;
+    bytes[puftestbed::store::binary::HEADER_LEN + 2 * record_len + 9] ^= 0xFF;
+
+    // A budget smaller than one frame cannot reach the next valid frame.
+    let items: Vec<_> =
+        BinaryRecordReader::spawn_resync(Cursor::new(bytes), 2, 4, 3, None).collect();
+    let good = items.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(good, 2, "the frames before the damage still arrive");
+    let last = items.last().unwrap().as_ref().unwrap_err().to_string();
+    assert!(
+        last.contains("resync abandoned") && last.contains("skip budget of 3 bytes"),
+        "{last}"
+    );
+}
+
+#[test]
+fn resync_on_a_clean_file_is_equivalent_to_the_strict_reader() {
+    let bytes = pufrec(30);
+    let strict: Vec<_> = BinaryRecordReader::spawn(Cursor::new(bytes.clone()), 3, 4)
+        .collect::<Result<_, _>>()
+        .unwrap();
+    let resync: Vec<_> = BinaryRecordReader::spawn_resync(Cursor::new(bytes), 3, 4, 1024, None)
+        .collect::<Result<_, _>>()
+        .unwrap();
+    assert_eq!(strict, resync);
+}
+
 /// The `convert` flow: decode with the auto-detecting reader, re-encode in
 /// the other format, and back. Migration must be lossless — the same
 /// records after any number of hops, and the JSON → binary → JSON hop
